@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper: it times the
+experiment driver with pytest-benchmark, prints the rendered artifact (so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+full evaluation section), and asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered artifact with a banner (shows under -s / in logs)."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+
+@pytest.fixture
+def report():
+    return emit

@@ -1,0 +1,87 @@
+"""Ablation — on-chip buffer capacity, per policy.
+
+The paper motivates adaptivity partly through memory behaviour: the
+adaptive plan streams every layer in the layout its scheme wants, while
+the unrolled intra-kernel realization inflates the input by Eq. 1's factor
+and cannot strip-tile it.  Sweeping the input/output buffer capacity from
+0.5 MB to 16 MB on VGG (whose unrolled bottom layers reach ~14 MB) makes
+that difference measurable:
+
+* **adaptive-2 is buffer-robust** — spatial strip tiling with (k-s)-row
+  halos keeps spill traffic negligible, so capacity changes move VGG by
+  <5% across the whole sweep (Table 3's 2 MB is comfortably enough at the
+  default DMA bandwidth);
+* **fixed intra is buffer-hungry** — the non-resident fraction of the
+  unrolled stream re-fetches on every output-chunk pass, so VGG under
+  intra degrades steeply as buffers shrink and keeps improving all the
+  way to 16 MB.
+
+This is the quantitative backing for choosing schemes whose access
+patterns tile, rather than buying bigger SRAMs.
+"""
+
+import dataclasses
+
+from repro.adaptive import plan_network
+from repro.analysis.report import format_table
+from repro.arch.config import CONFIG_16_16
+from repro.nn.zoo import build
+
+MB = 1024 * 1024
+SIZES_MB = (0.5, 1, 2, 4, 8, 16)
+
+
+def sweep(network_name: str, policy: str):
+    net = build(network_name)
+    cycles = {}
+    for size_mb in SIZES_MB:
+        config = dataclasses.replace(
+            CONFIG_16_16,
+            input_buffer_bytes=int(size_mb * MB),
+            output_buffer_bytes=int(size_mb * MB),
+        )
+        cycles[size_mb] = plan_network(net, config, policy).total_cycles
+    return cycles
+
+
+def run():
+    return {
+        ("vgg", "adaptive-2"): sweep("vgg", "adaptive-2"),
+        ("vgg", "intra"): sweep("vgg", "intra"),
+        ("alexnet", "adaptive-2"): sweep("alexnet", "adaptive-2"),
+        ("alexnet", "intra"): sweep("alexnet", "intra"),
+    }
+
+
+def test_buffer_size_ablation(benchmark, report):
+    data = benchmark(run)
+
+    rows = [
+        [f"{net} / {policy}"] + [f"{vals[s]:.4g}" for s in SIZES_MB]
+        for (net, policy), vals in data.items()
+    ]
+    report(
+        "Ablation — input/output buffer capacity (16-16, cycles)",
+        format_table(["network / policy"] + [f"{s} MB" for s in SIZES_MB], rows),
+    )
+
+    for vals in data.values():
+        # more buffer never hurts
+        for small, big in zip(SIZES_MB, SIZES_MB[1:]):
+            assert vals[big] <= vals[small] * 1.0001, (small, big)
+
+    # the adaptive plan is buffer-robust on both networks
+    for net in ("vgg", "alexnet"):
+        vals = data[(net, "adaptive-2")]
+        assert vals[0.5] / vals[16] < 1.05, net
+
+    # fixed intra on VGG is buffer-hungry: steep degradation when starved...
+    intra_vgg = data[("vgg", "intra")]
+    assert intra_vgg[0.5] / intra_vgg[16] > 2.0
+    # ...and still leaving >20% on the table at Table 3's 2 MB
+    assert intra_vgg[2] / intra_vgg[16] > 1.2
+
+    # AlexNet's unrolled tensors are ~1-2 MB: intra is sensitive only below 2 MB
+    intra_anet = data[("alexnet", "intra")]
+    assert intra_anet[0.5] / intra_anet[2] > 1.1
+    assert intra_anet[4] / intra_anet[16] < 1.05

@@ -1,0 +1,78 @@
+"""Ablation — DRAM bandwidth: where the compute/memory crossover sits.
+
+The timing model overlaps compute with DMA (double buffering), so a layer
+only slows down when its traffic divided by bandwidth exceeds its compute
+cycles.  Sweeping the sustained DMA rate shows:
+
+* at high bandwidth every network is compute-bound and extra bandwidth is
+  worthless (cycles saturate at the pure-compute floor);
+* at low bandwidth every network goes memory-bound (VGG's deep 3x3 layers
+  have high arithmetic intensity, so its slowdown factor is milder than
+  AlexNet's — but its conv1, with a 6.4 MB output, stays DMA-bound the
+  longest);
+* VGG needs at least as much bandwidth as AlexNet to reach its floor.
+"""
+
+import dataclasses
+
+from repro.adaptive import plan_network
+from repro.analysis.report import format_table
+from repro.arch.config import CONFIG_16_16
+from repro.nn.zoo import build
+
+RATES = (0.5, 1, 2, 4, 8, 16, 32)  # words per cycle
+
+
+def sweep(network_name: str):
+    net = build(network_name)
+    out = {}
+    for rate in RATES:
+        config = dataclasses.replace(CONFIG_16_16, dram_words_per_cycle=rate)
+        run = plan_network(net, config, "adaptive-2")
+        out[rate] = (run.total_cycles, run.compute_cycles)
+    return out
+
+
+def run():
+    return {name: sweep(name) for name in ("alexnet", "vgg")}
+
+
+def crossover_rate(data) -> float:
+    """Smallest swept rate at which the network is within 5% of compute."""
+    for rate in RATES:
+        total, compute = data[rate]
+        if total <= 1.05 * compute:
+            return rate
+    return float("inf")
+
+
+def test_dram_bandwidth_ablation(benchmark, report):
+    data = benchmark(run)
+
+    rows = []
+    for name, by_rate in data.items():
+        rows.append(
+            [name]
+            + [f"{by_rate[r][0]:.4g}" for r in RATES]
+            + [f"{by_rate[RATES[0]][1]:.4g}"]
+        )
+    report(
+        "Ablation — DRAM bandwidth (adaptive-2, 16-16, total cycles)",
+        format_table(
+            ["network"] + [f"{r} w/cyc" for r in RATES] + ["compute floor"],
+            rows,
+        ),
+    )
+
+    for name, by_rate in data.items():
+        # monotone: more bandwidth never slows anything down
+        for small, big in zip(RATES, RATES[1:]):
+            assert by_rate[big][0] <= by_rate[small][0] * 1.0001, (name, small)
+        # saturation at the compute floor
+        total32, compute = by_rate[32]
+        assert total32 <= 1.05 * compute, name
+        # starvation: at 0.5 w/cyc everything is memory-bound
+        assert by_rate[0.5][0] > 1.3 * compute, name
+
+    # VGG needs more bandwidth than AlexNet to become compute-bound
+    assert crossover_rate(data["vgg"]) >= crossover_rate(data["alexnet"])

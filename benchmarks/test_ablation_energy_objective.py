@@ -1,0 +1,70 @@
+"""Ablation (extension) — does performance-optimal equal energy-optimal?
+
+The paper asserts its dynamic scheme "can optimize performance and minimize
+energy consuming simultaneously".  This ablation makes that claim precise:
+it runs the exhaustive per-layer oracle under three objectives (cycles,
+energy, energy-delay product) on every benchmark network and compares the
+resulting whole-network cycle and energy totals:
+
+* the energy-oracle's cycles stay within a few percent of the cycle-oracle
+  (and vice versa for energy) — performance- and energy-optimality really
+  do coincide on these workloads, because both are dominated by the same
+  utilization/traffic effects;
+* the EDP oracle is sandwiched between the two by construction.
+"""
+
+from repro.adaptive.search import layer_energy_pj, search_network
+from repro.analysis.report import format_table
+from repro.arch.config import CONFIG_16_16
+from repro.arch.energy import EnergyModel
+from repro.nn.zoo import benchmark_networks
+
+OBJECTIVES = ("cycles", "energy", "edp")
+
+
+def run():
+    config = CONFIG_16_16
+    model = EnergyModel(config)
+    data = {}
+    for net in benchmark_networks():
+        per_objective = {}
+        for objective in OBJECTIVES:
+            outcomes = search_network(net, config, objective=objective)
+            cycles = sum(o.result.total_cycles for o in outcomes)
+            energy = sum(layer_energy_pj(o.result, model) for o in outcomes)
+            per_objective[objective] = (cycles, energy)
+        data[net.name] = per_objective
+    return data
+
+
+def test_energy_objective_ablation(benchmark, report):
+    data = benchmark(run)
+
+    rows = []
+    for name, per_obj in data.items():
+        for objective in OBJECTIVES:
+            cycles, energy = per_obj[objective]
+            rows.append(
+                [name, objective, f"{cycles:.4g}", f"{energy / 1e6:.4g}"]
+            )
+    report(
+        "Ablation — oracle objective (cycles vs energy vs EDP, 16-16)",
+        format_table(["network", "objective", "cycles", "energy (uJ)"], rows),
+    )
+
+    for name, per_obj in data.items():
+        cyc_cycles, cyc_energy = per_obj["cycles"]
+        en_cycles, en_energy = per_obj["energy"]
+        edp_cycles, edp_energy = per_obj["edp"]
+
+        # each oracle wins its own metric (tautology, but guards the search)
+        assert cyc_cycles <= en_cycles * 1.0001, name
+        assert en_energy <= cyc_energy * 1.0001, name
+
+        # the paper's 'simultaneously': the cross penalties are small
+        assert en_cycles <= 1.10 * cyc_cycles, name
+        assert cyc_energy <= 1.15 * en_energy, name
+
+        # EDP is never worse than either extreme on the product metric
+        assert edp_cycles * edp_energy <= cyc_cycles * cyc_energy * 1.0001, name
+        assert edp_cycles * edp_energy <= en_cycles * en_energy * 1.0001, name

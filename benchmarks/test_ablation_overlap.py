@@ -1,0 +1,60 @@
+"""Ablation — double buffering ("data fetch off the critical path").
+
+The paper's tiling/layout machinery exists so "the data fetch operations
+[move] off the critical path of NN accelerator" — i.e. so compute can
+overlap the DMA and host streams.  Disabling the overlap
+(``overlap_streams = False``) serializes compute and memory per layer and
+measures what that machinery is worth:
+
+* whole-network slowdowns of ~1.15-1.6x across the benchmarks;
+* the damage tracks the stream/compute ratio: stream-heavy plans (fixed
+  intra with its unrolled DMA) suffer the most.
+"""
+
+import dataclasses
+
+from repro.adaptive import plan_network
+from repro.analysis.report import format_table
+from repro.arch.config import CONFIG_16_16
+from repro.nn.zoo import benchmark_networks
+
+POLICIES = ("adaptive-2", "intra")
+
+
+def run():
+    serial_cfg = dataclasses.replace(CONFIG_16_16, overlap_streams=False)
+    data = {}
+    for net in benchmark_networks():
+        for policy in POLICIES:
+            overlapped = plan_network(net, CONFIG_16_16, policy).total_cycles
+            serialized = plan_network(net, serial_cfg, policy).total_cycles
+            data[(net.name, policy)] = (overlapped, serialized)
+    return data
+
+
+def test_overlap_ablation(benchmark, report):
+    data = benchmark(run)
+
+    rows = [
+        [net, policy, f"{ovl:.4g}", f"{ser:.4g}", f"{ser / ovl:.2f}x"]
+        for (net, policy), (ovl, ser) in data.items()
+    ]
+    report(
+        "Ablation — double buffering on/off (cycles @16-16)",
+        format_table(
+            ["network", "policy", "overlapped", "serialized", "slowdown"], rows
+        ),
+    )
+
+    for (net, policy), (ovl, ser) in data.items():
+        # serialization never helps, and always costs something real
+        assert ser > ovl, (net, policy)
+        assert ser / ovl > 1.05, (net, policy)
+        # but can never exceed 2x (sum vs max of two terms)
+        assert ser / ovl <= 2.0, (net, policy)
+
+    # stream-heavy intra hurts more than the adaptive plan on every net
+    for net in ("alexnet", "googlenet", "vgg", "nin"):
+        adaptive_slowdown = data[(net, "adaptive-2")][1] / data[(net, "adaptive-2")][0]
+        intra_slowdown = data[(net, "intra")][1] / data[(net, "intra")][0]
+        assert intra_slowdown >= adaptive_slowdown * 0.98, net

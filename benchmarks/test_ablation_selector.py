@@ -1,0 +1,86 @@
+"""Ablation — Algorithm 2's selection rule against alternatives.
+
+The rule has one magic comparison: partition when ``Din < Tin``.  This
+ablation re-plans every benchmark network with the threshold scaled by
+alpha in {0, 0.5, 1, 2, inf} (0 = never partition = "inter+intra only",
+inf = always partition where legal) and compares against the exhaustive
+per-layer oracle:
+
+* the paper's alpha = 1 sits within 10% of the oracle on every network;
+* disabling partition (alpha = 0) gives up the conv1 win;
+* always-partition (alpha = inf) pays on deep top layers at 16-16.
+"""
+
+from repro.adaptive.search import best_scheme_for_layer
+from repro.analysis.report import format_table
+from repro.arch.config import CONFIG_16_16
+from repro.errors import ScheduleError
+from repro.nn.zoo import benchmark_networks
+from repro.schemes import make_scheme
+
+ALPHAS = (0.0, 0.5, 1.0, 2.0, float("inf"))
+
+
+def rule_cycles(net, config, alpha: float) -> float:
+    """Total conv cycles under a threshold-scaled Algorithm 2."""
+    total = 0.0
+    for ctx in net.conv_contexts():
+        k, s = ctx.layer.kernel, ctx.layer.stride
+        d = ctx.layer.in_maps // ctx.layer.groups
+        if k == s and k != 1:
+            name = "intra"
+        elif s < k and d < alpha * config.tin:
+            name = "partition"
+        else:
+            name = "inter-improved"
+        try:
+            total += make_scheme(name).schedule(ctx, config).total_cycles
+        except ScheduleError:
+            total += make_scheme("intra").schedule(ctx, config).total_cycles
+    return total
+
+
+def oracle_cycles(net, config) -> float:
+    return sum(
+        best_scheme_for_layer(ctx, config).result.total_cycles
+        for ctx in net.conv_contexts()
+    )
+
+
+def run():
+    config = CONFIG_16_16
+    data = {}
+    for net in benchmark_networks():
+        data[net.name] = {
+            "oracle": oracle_cycles(net, config),
+            **{alpha: rule_cycles(net, config, alpha) for alpha in ALPHAS},
+        }
+    return data
+
+
+def test_selector_threshold_ablation(benchmark, report):
+    data = benchmark(run)
+
+    headers = ["network", "oracle"] + [f"a={a}" for a in ALPHAS]
+    rows = [
+        [name, f"{d['oracle']:.4g}"] + [f"{d[a]:.4g}" for a in ALPHAS]
+        for name, d in data.items()
+    ]
+    report(
+        "Ablation — Algorithm 2 threshold (Din < alpha*Tin), cycles @16-16",
+        format_table(headers, rows),
+    )
+
+    for name, d in data.items():
+        # the paper's rule is near-oracle
+        assert d[1.0] <= 1.10 * d["oracle"], name
+        # never worse than disabling partition entirely
+        assert d[1.0] <= d[0.0] * 1.0001, name
+
+    # disabling partition forfeits the conv1 win on the shallow-input nets
+    for name in ("alexnet", "googlenet", "nin"):
+        assert data[name][0.0] > 1.2 * data[name][1.0], name
+
+    # always-partition pays on at least one network (deep top layers)
+    worst = max(data[n][float("inf")] / data[n][1.0] for n in data)
+    assert worst > 1.0

@@ -1,0 +1,52 @@
+"""Fig. 10 — on-chip buffer access traffic (bits) for whole networks.
+
+Paper claims asserted:
+
+* adap-2 cuts traffic ~90% vs adap-1 (weight-resident inter for the top
+  layers; we assert > 70% on every network/config);
+* the original inter scheme is the traffic hog among practical policies;
+* on VGG, fixed partition has *more* accesses than everything else (its
+  per-map add-and-store explodes when Din is large);
+* adap-2 is the best of the inter-family and partition policies everywhere,
+  and stays within ~2x of fixed intra (the paper reports adap-2 strictly
+  below intra — our intra model counts only aligned useful words, so it is
+  optimistic for intra; see EXPERIMENTS.md).
+"""
+
+from collections import defaultdict
+
+from repro.analysis.experiments import fig10_buffer_traffic
+from repro.analysis.metrics import reduction_pct
+from repro.analysis.report import render_fig10
+
+
+def run():
+    return fig10_buffer_traffic()
+
+
+def test_fig10(benchmark, report):
+    rows = benchmark(run)
+    report("Fig. 10 — buffer traffic comparison", render_fig10(rows))
+
+    bits = defaultdict(dict)
+    for r in rows:
+        bits[(r.config, r.network)][r.policy] = r.access_bits
+
+    for key, by_policy in bits.items():
+        a1, a2 = by_policy["adaptive-1"], by_policy["adaptive-2"]
+        # paper: 90.13% average reduction; assert > 70% per case
+        assert reduction_pct(a1, a2) > 70.0, key
+        # inter is far above adap-2 everywhere
+        assert by_policy["inter"] > 4 * a2, key
+        # adap-2 beats inter, partition and adap-1 outright...
+        for policy in ("inter", "partition", "adaptive-1"):
+            assert a2 <= by_policy[policy], (key, policy)
+        # ...and tracks our (optimistic) intra model within 2x
+        assert a2 <= 2.0 * by_policy["intra"], key
+
+    # VGG: partition's add-and-store makes it the worst offender
+    for config in ("16-16", "32-32"):
+        v = bits[(config, "vgg")]
+        assert v["partition"] > max(
+            v["inter"], v["intra"], v["adaptive-1"], v["adaptive-2"]
+        ), config

@@ -1,0 +1,30 @@
+"""Fig. 3 — data-unrolling footprint of the first conv layers.
+
+Paper claim: "the unrolled data size increases to 9x~18.9x of the raw
+input" for the first five conv layers of AlexNet and GoogLeNet.  Our
+Eq. 1 implementation includes the padding-aware output size, which widens
+the band slightly (7x-25x); the qualitative claim — roughly an order of
+magnitude of duplication — is asserted.
+"""
+
+from repro.analysis.experiments import fig3_unrolling
+from repro.analysis.report import render_fig3
+
+
+def run():
+    return fig3_unrolling()
+
+
+def test_fig3(benchmark, report):
+    rows = benchmark(run)
+    report("Fig. 3 — data unrolling scheme", render_fig3(rows))
+
+    assert len(rows) == 10
+    for row in rows:
+        assert 5.0 < row.factor < 30.0, row
+    # conv1 of AlexNet (k=11, s=4) duplicates ~7x; the stride-1 5x5 layers
+    # are the worst at ~25x
+    by_layer = {(r.network, r.layer): r.factor for r in rows}
+    assert by_layer[("alexnet", "conv1")] < by_layer[("alexnet", "conv2")]
+    # every stride-1 3x3 layer lands at exactly ~9x (k/s)^2
+    assert 8.5 < by_layer[("alexnet", "conv3")] < 9.5

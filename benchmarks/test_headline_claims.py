@@ -1,0 +1,40 @@
+"""The paper's headline aggregates (abstract + Sec 5), asserted as bands.
+
+Every quoted average is recomputed by :mod:`repro.analysis.headline` and
+checked against a reproduction band — wide enough to absorb the documented
+model substitutions, tight enough that a broken scheme or planner cannot
+pass.
+"""
+
+from repro.analysis.headline import headline_numbers, render_headline
+
+
+def run():
+    return headline_numbers()
+
+
+def test_headline_claims(benchmark, report):
+    h = benchmark(run)
+    report("Headline aggregates", render_headline(h))
+
+    # conv1: paper 5.8x / 2.1x — bands 3x-8x and 1.5x-4x
+    assert 3.0 < h.conv1_partition_vs_inter < 8.0
+    assert 1.5 < h.conv1_partition_vs_intra < 4.0
+
+    # abstract: "4.0x-8.3x for some layers"
+    assert h.best_layer_speedup >= 4.0
+
+    # whole-network: paper 1.83x on AlexNet, 1.43x on average
+    assert 1.4 < h.alexnet_adaptive_vs_inter < 2.3
+    assert 1.2 < h.avg_adaptive_vs_inter < 1.8
+
+    # abstract: 28.04% PE energy saving — band 15-45%
+    assert 15.0 < h.avg_pe_energy_saving_pct < 45.0
+
+    # abstract: 90.3% on-chip memory energy saving — our count-exact model
+    # yields ~73% (see EXPERIMENTS.md: we do not model intra's alignment
+    # redundancy, which inflates the paper's inter-side baseline)
+    assert 60.0 < h.avg_memory_energy_saving_pct < 95.0
+
+    # Sec 5.3: 90.13% adap-2 vs adap-1 traffic reduction — band 70-95%
+    assert 70.0 < h.avg_adap2_vs_adap1_traffic_pct < 95.0

@@ -1,0 +1,113 @@
+"""Model validation — the reproduction checking itself.
+
+Not a paper artifact: this bench regenerates the evidence that the
+substrate is trustworthy, in one place:
+
+1. **machine parity** — executing the compiled macro program reproduces
+   the analytical totals exactly, for every policy on AlexNet;
+2. **loop-nest parity** — enumerating the schedules cycle by cycle gives
+   the same operation counts on the conv1 geometries;
+3. **pipeline convergence** — the event-driven double-buffered pipeline
+   converges onto the analytical ``max(compute, stream)`` model as the
+   pass depth grows (ratios printed per network).
+"""
+
+from repro.adaptive import plan_network
+from repro.analysis.report import format_table
+from repro.arch.config import CONFIG_16_16
+from repro.isa.compiler import compile_network
+from repro.nn.zoo import benchmark_networks, build
+from repro.schemes import make_scheme
+from repro.sim.event import simulate_run
+from repro.sim.loopnest import enumerate_inter, enumerate_intra, enumerate_partition
+from repro.sim.machine import Machine
+
+ENUMS = {
+    "inter": enumerate_inter,
+    "intra": enumerate_intra,
+    "partition": enumerate_partition,
+}
+
+
+def run():
+    config = CONFIG_16_16
+    data = {"parity": [], "loopnest": [], "pipeline": []}
+
+    net = build("alexnet")
+    for policy in ("ideal", "inter", "intra", "partition", "adaptive-2"):
+        planned = plan_network(net, config, policy)
+        executed = Machine(config).execute(compile_network(net, config, policy))
+        data["parity"].append(
+            (
+                policy,
+                executed.total_cycles - planned.total_cycles,
+                executed.buffer_accesses - planned.buffer_accesses,
+                executed.dram_words - planned.dram_words,
+            )
+        )
+
+    # loop-nest enumeration on a scaled conv1 (3 maps, 11x11/4 on 39x39)
+    from tests.conftest import make_ctx
+
+    ctx = make_ctx(in_maps=3, out_maps=8, kernel=11, stride=4, hw=39)
+    for scheme, enum in ENUMS.items():
+        analytical = make_scheme(scheme).schedule(ctx, config)
+        ops = list(enum(ctx, config))
+        data["loopnest"].append(
+            (
+                scheme,
+                analytical.operations,
+                len(ops),
+                sum(o.useful_macs for o in ops) - ctx.macs,
+            )
+        )
+
+    for net in benchmark_networks():
+        planned = plan_network(net, config, "adaptive-2")
+        ratios = {
+            passes: simulate_run(planned, passes) / planned.total_cycles
+            for passes in (1, 4, 16, 64)
+        }
+        data["pipeline"].append((net.name, ratios))
+    return data
+
+
+def test_model_validation(benchmark, report):
+    data = benchmark(run)
+
+    parity_rows = [
+        [policy, f"{dc:+.1f}", f"{da:+d}", f"{dd:+d}"]
+        for policy, dc, da, dd in data["parity"]
+    ]
+    report(
+        "Validation 1 — machine vs analytical (deltas; all must be ~0)",
+        format_table(["policy", "cycles", "accesses", "DRAM"], parity_rows),
+    )
+    for policy, dc, da, dd in data["parity"]:
+        assert abs(dc) < 2.0 and da == 0 and dd == 0, policy
+
+    loop_rows = [
+        [scheme, str(expected), str(got), f"{dmacs:+d}"]
+        for scheme, expected, got, dmacs in data["loopnest"]
+    ]
+    report(
+        "Validation 2 — loop-nest enumeration (11x11/s4 conv1 geometry)",
+        format_table(["scheme", "analytical ops", "enumerated", "MAC delta"], loop_rows),
+    )
+    for scheme, expected, got, dmacs in data["loopnest"]:
+        assert expected == got and dmacs == 0, scheme
+
+    pipe_rows = [
+        [name] + [f"{ratios[p]:.3f}" for p in (1, 4, 16, 64)]
+        for name, ratios in data["pipeline"]
+    ]
+    report(
+        "Validation 3 — event-pipeline / analytical ratio by pass depth",
+        format_table(["network", "1 pass", "4", "16", "64"], pipe_rows),
+    )
+    for name, ratios in data["pipeline"]:
+        # serialized end of the sandwich ...
+        assert ratios[1] > 1.05, name
+        # ... converging monotonically onto the analytical model
+        assert ratios[1] >= ratios[4] >= ratios[16] >= ratios[64] - 1e-9, name
+        assert 0.97 < ratios[64] < 1.03, name

@@ -1,0 +1,63 @@
+"""Table 1 — the qualitative scheme-suitability matrix, made checkable.
+
+The paper's Table 1:
+
+    scheme     suited layer characteristic          advantage
+    inter      large #input maps and small kernel   implement easily
+    intra      kernel = stride                      less memory traffic
+    partition  big kernel or small #input maps      both of above
+
+Each row carries a witness layer geometry; the bench asserts that on its
+witness, the row's scheme (a) wins or ties the per-layer cycle oracle and
+(b) exhibits the claimed advantage (intra's witness has the least buffer
+traffic of the practical schemes; partition's witness wins on both cycles
+and traffic vs inter).
+"""
+
+from repro.adaptive.search import best_scheme_for_layer
+from repro.analysis.experiments import table1_scheme_comparison
+from repro.analysis.report import render_table1
+from repro.arch.config import CONFIG_16_16
+from repro.schemes import make_scheme
+
+from tests.conftest import make_ctx
+
+
+def run():
+    return table1_scheme_comparison()
+
+
+def witness_ctx(witness):
+    k, s, din = witness
+    hw = max(4 * k, 16)
+    return make_ctx(in_maps=din, out_maps=32, kernel=k, stride=s, hw=hw)
+
+
+def test_table1(benchmark, report):
+    rows = benchmark(run)
+    report("Table 1 — scheme suitability", render_table1(rows))
+
+    config = CONFIG_16_16
+    by_scheme = {r.scheme: r for r in rows}
+
+    # every witness is (or ties) the oracle winner for its row's scheme;
+    # inter's witness may be won by inter-improved (same cycles, less traffic)
+    for row in rows:
+        ctx = witness_ctx(row.witness)
+        oracle = best_scheme_for_layer(ctx, config)
+        winner_family = oracle.scheme.replace("inter-improved", "inter")
+        assert winner_family == row.scheme, (row.scheme, oracle.scheme)
+
+    # intra's advantage: least memory traffic on its k == s witness
+    ctx = witness_ctx(by_scheme["intra"].witness)
+    intra = make_scheme("intra").schedule(ctx, config)
+    inter = make_scheme("inter").schedule(ctx, config)
+    assert intra.buffer_accesses < inter.buffer_accesses
+
+    # partition's advantage: "both of above" — beats inter on cycles AND
+    # traffic on its big-kernel/shallow witness
+    ctx = witness_ctx(by_scheme["partition"].witness)
+    part = make_scheme("partition").schedule(ctx, config)
+    inter = make_scheme("inter").schedule(ctx, config)
+    assert part.total_cycles < inter.total_cycles
+    assert part.buffer_accesses < inter.buffer_accesses

@@ -1,0 +1,47 @@
+"""Table 4 — accelerator vs CPU (Xeon 2.20 GHz, Caffe-style software).
+
+Paper: adap-16-16 averages 139x and adap-32-32 averages 469x over the CPU
+(at 1 GHz).  Our calibrated CPU model lands within 15% of the published
+times for AlexNet/VGG/NiN (GoogLeNet's published time carries framework
+overheads a GEMM model cannot see — same order of magnitude asserted), and
+the speedups sit in the paper's bands: O(100x) and O(200-500x).
+"""
+
+from repro.analysis.experiments import table4_cpu_comparison
+from repro.analysis.metrics import arithmetic_mean
+from repro.analysis.report import render_table4
+
+PAPER_CPU_MS = {
+    "alexnet": 376.50,
+    "googlenet": 1418.8,
+    "vgg": 10071.71,
+    "nin": 553.43,
+}
+
+
+def run():
+    return table4_cpu_comparison()
+
+
+def test_table4(benchmark, report):
+    rows = benchmark(run)
+    report("Table 4 — performance compared to CPU", render_table4(rows))
+
+    by_net = {r.network: r for r in rows}
+
+    for net in ("alexnet", "vgg", "nin"):
+        ours, paper = by_net[net].cpu_ms, PAPER_CPU_MS[net]
+        assert abs(ours - paper) / paper < 0.15, net
+    g = by_net["googlenet"].cpu_ms
+    assert PAPER_CPU_MS["googlenet"] / 2.5 < g < PAPER_CPU_MS["googlenet"] * 2.5
+
+    # speedup bands: paper avg 139x (16-16) and 469x (32-32)
+    avg16 = arithmetic_mean(r.speedup16 for r in rows)
+    avg32 = arithmetic_mean(r.speedup32 for r in rows)
+    assert 60 < avg16 < 300
+    assert 150 < avg32 < 900
+    for r in rows:
+        assert r.speedup32 > r.speedup16, r.network
+
+    # VGG remains the slowest absolute time on the accelerator too
+    assert by_net["vgg"].adap16_ms > by_net["googlenet"].adap16_ms

@@ -1,0 +1,44 @@
+"""Table 5 — PE energy reduction relative to the inter-kernel baseline.
+
+Paper rows (%, 16-16):
+
+    network    intra   partition  adap-1  adap-2
+    alexnet    32.85     40.23    47.77   47.71
+    googlenet   9.66     22.77    31.48   31.40
+    VGG       -44.72     -8.61     3.00    2.89
+
+Asserted shape (see EXPERIMENTS.md for measured values):
+
+* ordering intra < partition < adap-1 on every network;
+* adap-2 within 2 points *below* adap-1 (the add-and-store adder group);
+* VGG's intra entry is strongly negative, partition mildly negative,
+  adaptive slightly positive — the memory-bound signature.
+"""
+
+from repro.analysis.experiments import table5_pe_energy
+from repro.analysis.report import render_table5
+
+
+def run():
+    return table5_pe_energy()
+
+
+def test_table5(benchmark, report):
+    rows = benchmark(run)
+    report("Table 5 — PEs energy reduction (%)", render_table5(rows))
+
+    r = {(row.network, row.scheme): row.reduction_pct for row in rows}
+
+    for net in ("alexnet", "googlenet", "vgg"):
+        assert r[(net, "intra")] < r[(net, "partition")] < r[(net, "adaptive-1")]
+        gap = r[(net, "adaptive-1")] - r[(net, "adaptive-2")]
+        assert 0 <= gap < 2.0, net
+
+    # AlexNet: both partition and adaptive save substantially
+    assert r[("alexnet", "partition")] > 25.0
+    assert r[("alexnet", "adaptive-1")] > 30.0
+
+    # VGG: the paper's signature signs
+    assert r[("vgg", "intra")] < -20.0
+    assert -20.0 < r[("vgg", "partition")] < 0.0
+    assert 0.0 < r[("vgg", "adaptive-1")] < 10.0

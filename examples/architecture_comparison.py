@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Replay the evaluation on neighbouring architectures.
+
+The paper compares C-Brain against DianNao-style and FPGA designs at fixed
+points; with the preset catalog the same comparison runs as a sweep: every
+preset plans the same network under its own budget, and the table shows
+how much of each design's gap is dataflow (fixed inter vs adaptive) versus
+raw resources (multipliers, SRAM, DMA).
+
+Run:  python examples/architecture_comparison.py [network]
+"""
+
+import sys
+
+from repro import build, plan_network
+from repro.analysis.report import format_table
+from repro.arch.presets import preset, preset_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "alexnet"
+    net = build(name)
+
+    rows = []
+    for preset_name in preset_names():
+        config = preset(preset_name)
+        inter = plan_network(net, config, "inter")
+        adaptive = plan_network(net, config, "adaptive-2")
+        rows.append(
+            [
+                preset_name,
+                config.name,
+                f"{config.multipliers}",
+                f"{config.frequency_hz / 1e6:.0f} MHz",
+                f"{inter.milliseconds():.2f}",
+                f"{adaptive.milliseconds():.2f}",
+                f"{inter.total_cycles / adaptive.total_cycles:.2f}x",
+                f"{adaptive.utilization:.0%}",
+            ]
+        )
+
+    print(f"Architecture comparison on {name} (fixed inter vs adaptive)\n")
+    print(
+        format_table(
+            [
+                "preset",
+                "PE",
+                "mults",
+                "clock",
+                "inter (ms)",
+                "adaptive (ms)",
+                "dataflow gain",
+                "util",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe 'dataflow gain' column isolates what adaptive parallelization"
+        "\nbuys on each silicon budget — it is largest where the PE shape"
+        "\nfits the bottom layers worst, independent of raw resources."
+    )
+
+
+if __name__ == "__main__":
+    main()

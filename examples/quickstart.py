@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: schedule AlexNet on the C-Brain accelerator.
+
+Builds the network, lets Algorithm 2 pick a parallelization scheme per
+layer, and reports cycles, utilization, energy, and the speedup over the
+fixed inter-kernel baseline — the 30-second tour of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CONFIG_16_16, build, plan_network
+from repro.adaptive import choices_for_network
+from repro.analysis.metrics import speedup
+
+
+def main() -> None:
+    net = build("alexnet")
+    config = CONFIG_16_16
+
+    print(f"Network: {net.name} ({net.summary().conv_layers} conv layers)")
+    print(f"Accelerator: {config.name} ({config.multipliers} multipliers, "
+          f"{config.frequency_hz / 1e9:.0f} GHz)\n")
+
+    # Algorithm 2: which scheme does each layer get, and why?
+    print("Per-layer scheme selection (Algorithm 2):")
+    for choice in choices_for_network(net, config):
+        print(f"  {choice.layer_name:<8s} -> {choice.scheme:<15s} {choice.reason}")
+
+    # whole-network runs: the adaptive plan vs the fixed baseline
+    adaptive = plan_network(net, config, "adaptive-2")
+    baseline = plan_network(net, config, "inter")
+
+    print("\nWhole-network forward propagation (conv layers):")
+    print(f"  inter (DianNao-style): {baseline.total_cycles:12,.0f} cycles"
+          f"  = {baseline.milliseconds():6.2f} ms")
+    print(f"  adaptive (C-Brain):    {adaptive.total_cycles:12,.0f} cycles"
+          f"  = {adaptive.milliseconds():6.2f} ms")
+    print(f"  speedup: {speedup(baseline.total_cycles, adaptive.total_cycles):.2f}x")
+    print(f"  PE utilization: {baseline.utilization:.1%} -> {adaptive.utilization:.1%}")
+
+    e_base, e_adap = baseline.energy(), adaptive.energy()
+    print("\nEnergy (PE array + on-chip buffers + DRAM):")
+    print(f"  inter:    {e_base.total_pj / 1e6:8.2f} uJ "
+          f"(buffers {e_base.buffer_pj / 1e6:.2f} uJ)")
+    print(f"  adaptive: {e_adap.total_pj / 1e6:8.2f} uJ "
+          f"(buffers {e_adap.buffer_pj / 1e6:.2f} uJ)")
+    print(f"  buffer-traffic reduction: "
+          f"{1 - adaptive.buffer_accesses / baseline.buffer_accesses:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""C-Brain reproduction: adaptive data-level parallelization for CNN accelerators.
+
+Python reproduction of Song et al., "C-Brain: A Deep Learning Accelerator
+that Tames the Diversity of CNNs through Adaptive Data-level
+Parallelization" (DAC 2016).
+
+Quick tour of the public API::
+
+    from repro import build, CONFIG_16_16, plan_network, select_scheme
+
+    net = build("alexnet")
+    run = plan_network(net, CONFIG_16_16, "adaptive-2")
+    print(run.total_cycles, run.milliseconds())
+
+Sub-packages:
+
+- :mod:`repro.nn` — layer/network model and the benchmark zoo
+- :mod:`repro.arch` — accelerator configuration, buffers, PE array, energy
+- :mod:`repro.tiling` — unrolling (Eq. 1), kernel partitioning (Eq. 2),
+  layouts, buffer-fit analysis
+- :mod:`repro.schemes` — inter / improved-inter / intra / partition / ideal
+- :mod:`repro.adaptive` — Algorithm 2 selection, whole-network planning,
+  oracle search
+- :mod:`repro.isa` / :mod:`repro.sim` — macro ISA, compiler, machine,
+  functional (numerical) execution
+- :mod:`repro.baselines` — CPU (Table 4) and Zhang FPGA'15 (Fig. 9) models
+- :mod:`repro.analysis` — one driver per table/figure of the paper
+"""
+
+from repro.adaptive import plan_network, select_scheme
+from repro.arch import (
+    CONFIG_16_16,
+    CONFIG_32_32,
+    AcceleratorConfig,
+    EnergyModel,
+    named_config,
+)
+from repro.errors import (
+    CapacityError,
+    CompileError,
+    ConfigError,
+    ReproError,
+    ScheduleError,
+    ShapeError,
+    SimulationError,
+)
+from repro.nn import ConvLayer, Network, TensorShape
+from repro.nn.zoo import benchmark_networks, build
+from repro.schemes import make_scheme
+from repro.sim import Machine, NetworkRun
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "plan_network",
+    "select_scheme",
+    "CONFIG_16_16",
+    "CONFIG_32_32",
+    "AcceleratorConfig",
+    "EnergyModel",
+    "named_config",
+    "CapacityError",
+    "CompileError",
+    "ConfigError",
+    "ReproError",
+    "ScheduleError",
+    "ShapeError",
+    "SimulationError",
+    "ConvLayer",
+    "Network",
+    "TensorShape",
+    "benchmark_networks",
+    "build",
+    "make_scheme",
+    "Machine",
+    "NetworkRun",
+    "__version__",
+]

@@ -1,0 +1,313 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+report
+    Regenerate every table and figure of the paper's evaluation section
+    and print them (the text form of Figs. 3/7/8/9/10 and Tables 4/5).
+plan NETWORK [--config 16-16] [--policy adaptive-2]
+    Plan one network and print the per-layer schedule.
+select NETWORK [--config 16-16]
+    Print Algorithm 2's per-layer scheme choices with reasons.
+networks
+    List the benchmark networks and their Table 2 characteristics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.adaptive import choices_for_network, plan_network
+from repro.adaptive.planner import POLICY_NAMES
+from repro.arch.config import named_config as _named_config
+from repro.arch.presets import PRESETS
+
+
+def named_config(name: str):
+    """CLI config resolver: a preset name or a 'Tin-Tout' string."""
+    if name in PRESETS:
+        return PRESETS[name]
+    return _named_config(name)
+from repro.nn.zoo import NETWORK_BUILDERS, build
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        fig3_unrolling,
+        fig7_conv1,
+        fig8_whole_network,
+        fig9_zhang_comparison,
+        fig10_buffer_traffic,
+        render_fig3,
+        render_fig7,
+        render_fig8,
+        render_fig9,
+        render_fig10,
+        render_headline,
+        render_table1,
+        render_table4,
+        render_table5,
+        headline_numbers,
+        table1_scheme_comparison,
+        table4_cpu_comparison,
+        table5_pe_energy,
+        write_csv,
+    )
+
+    datasets = {
+        "fig3": fig3_unrolling(),
+        "fig7": fig7_conv1(),
+        "fig8": fig8_whole_network(),
+        "fig9": fig9_zhang_comparison(),
+        "table4": table4_cpu_comparison(),
+        "table5": table5_pe_energy(),
+        "fig10": fig10_buffer_traffic(),
+    }
+    artifacts = [
+        render_table1(table1_scheme_comparison()),
+        render_fig3(datasets["fig3"]),
+        render_fig7(datasets["fig7"]),
+        render_fig8(datasets["fig8"]),
+        render_fig9(datasets["fig9"]),
+        render_table4(datasets["table4"]),
+        render_table5(datasets["table5"]),
+        render_fig10(datasets["fig10"]),
+        render_headline(headline_numbers()),
+    ]
+    print(("\n\n" + "=" * 72 + "\n\n").join(artifacts))
+    if args.csv_dir:
+        import os
+
+        os.makedirs(args.csv_dir, exist_ok=True)
+        for name, rows in datasets.items():
+            write_csv(rows, os.path.join(args.csv_dir, f"{name}.csv"))
+        print(f"\nCSV artifacts written to {args.csv_dir}/")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.layerwise import render_layerwise
+
+    net = build(args.network)
+    config = named_config(args.config)
+    run = plan_network(
+        net, config, args.policy, include_non_conv=args.full
+    )
+    print(f"{net.name} on {config.name} under policy {args.policy!r}:")
+    print(render_layerwise(run, top=args.top))
+    if args.timeline:
+        from repro.analysis.timeline import render_timeline
+
+        print()
+        print(render_timeline(run, top=args.top))
+    print(
+        f"\ntotal: {run.total_cycles:,.0f} cycles = {run.milliseconds():.3f} ms, "
+        f"utilization {run.utilization:.1%}, "
+        f"buffer traffic {run.buffer_accesses:,} words, "
+        f"DRAM {run.dram_words:,} words"
+    )
+    energy = run.energy()
+    print(
+        f"energy: PE {energy.pe_pj / 1e6:.2f} uJ, buffers "
+        f"{energy.buffer_pj / 1e6:.2f} uJ, DRAM {energy.dram_pj / 1e6:.2f} uJ"
+    )
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    net = build(args.network)
+    config = named_config(args.config)
+    for choice in choices_for_network(net, config):
+        print(f"{choice.layer_name:<26s} -> {choice.scheme:<15s} {choice.reason}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.quantization import quantization_report, render_quantization
+    from repro.analysis.reuse import render_reuse, reuse_table
+    from repro.nn.zoo import sequential_cnn
+
+    net = build(args.network)
+    config = named_config(args.config)
+
+    print("Reuse factors for the first conv layer under each scheme:\n")
+    print(render_reuse(reuse_table(net.conv1(), config)))
+
+    if args.quantization:
+        # quantization runs a numerical forward pass; do it on a scaled
+        # stand-in with the same first-layer geometry to stay fast
+        c1 = net.conv1().layer
+        probe = sequential_cnn(
+            f"{net.name}-probe",
+            (c1.in_maps, 4 * c1.kernel + c1.stride, 4 * c1.kernel + c1.stride),
+            f"C{min(c1.out_maps, 16)}k{c1.kernel}s{c1.stride}p{c1.pad} R C10k1",
+        )
+        print()
+        print(render_quantization(quantization_report(probe)))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.isa.compiler import compile_network
+    from repro.isa.validate import lint_program
+    from repro.sim.machine import Machine
+
+    net = build(args.network)
+    config = named_config(args.config)
+    program = compile_network(net, config, args.policy)
+    issues = lint_program(program, config)
+    errors = [i for i in issues if i.severity == "error"]
+    print(
+        f"compiled {len(program)} macro instructions; lint: "
+        f"{len(errors)} errors, {len(issues) - len(errors)} warnings"
+    )
+    if errors:
+        for issue in errors:
+            print(f"  [error] {issue.message}")
+        return 1
+    result = Machine(config).execute(program)
+    print(
+        f"machine: {result.total_cycles:,.0f} cycles "
+        f"({result.milliseconds():.3f} ms) over {len(result.regions)} "
+        f"regions, utilization {result.utilization:.1%}, "
+        f"{result.buffer_accesses:,} buffer words, "
+        f"{result.dram_words:,} DRAM words"
+    )
+    energy = result.energy()
+    print(
+        f"energy: PE {energy.pe_pj / 1e6:.2f} uJ, buffers "
+        f"{energy.buffer_pj / 1e6:.2f} uJ, DRAM {energy.dram_pj / 1e6:.2f} uJ"
+    )
+    if args.asm:
+        from repro.isa.assembly import disassemble
+
+        with open(args.asm, "w") as handle:
+            handle.write(disassemble(program))
+        print(f"assembly written to {args.asm}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import render_comparison
+
+    net = build(args.network)
+    config = named_config(args.config)
+    run_a = plan_network(net, config, args.policy_a)
+    run_b = plan_network(net, config, args.policy_b)
+    print(render_comparison(run_a, run_b))
+    return 0
+
+
+def cmd_networks(args: argparse.Namespace) -> int:
+    if args.detail:
+        from repro.nn.stats import render_network_stats
+
+        print(render_network_stats(build(args.detail), top=args.top))
+        return 0
+    for name in NETWORK_BUILDERS:
+        s = build(name).summary()
+        c1 = s.conv1
+        print(
+            f"{s.name:<10s} conv1=({c1.in_maps},{c1.kernel},{c1.stride},"
+            f"{c1.out_maps})  #conv={s.conv_layers:<3d} "
+            f"kernels={','.join(map(str, s.kernel_sizes)):<10s} "
+            f"MACs={s.total_macs:.3e}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="C-Brain (DAC'16) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate all tables and figures"
+    )
+    p_report.add_argument(
+        "--csv-dir",
+        default="",
+        help="also write each dataset as CSV into this directory",
+    )
+
+    p_plan = sub.add_parser("plan", help="plan one network")
+    p_plan.add_argument("network", choices=sorted(NETWORK_BUILDERS))
+    p_plan.add_argument("--config", default="16-16")
+    p_plan.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
+    p_plan.add_argument(
+        "--full",
+        action="store_true",
+        help="include pooling/FC/LRN layers, not just conv",
+    )
+    p_plan.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        help="show only the N most expensive layers",
+    )
+    p_plan.add_argument(
+        "--timeline",
+        action="store_true",
+        help="draw the compute-vs-stream timeline",
+    )
+
+    p_sel = sub.add_parser("select", help="show Algorithm 2 choices")
+    p_sel.add_argument("network", choices=sorted(NETWORK_BUILDERS))
+    p_sel.add_argument("--config", default="16-16")
+
+    p_sim = sub.add_parser(
+        "simulate", help="compile, lint and machine-execute a network"
+    )
+    p_sim.add_argument("network", choices=sorted(NETWORK_BUILDERS))
+    p_sim.add_argument("--config", default="16-16")
+    p_sim.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
+    p_sim.add_argument("--asm", default="", help="also dump the assembly to a file")
+
+    p_cmp = sub.add_parser("compare", help="diff two policies layer by layer")
+    p_cmp.add_argument("network", choices=sorted(NETWORK_BUILDERS))
+    p_cmp.add_argument("policy_a", choices=POLICY_NAMES)
+    p_cmp.add_argument("policy_b", choices=POLICY_NAMES)
+    p_cmp.add_argument("--config", default="16-16")
+
+    p_an = sub.add_parser("analyze", help="reuse/quantization analytics")
+    p_an.add_argument("network", choices=sorted(NETWORK_BUILDERS))
+    p_an.add_argument("--config", default="16-16")
+    p_an.add_argument(
+        "--quantization",
+        action="store_true",
+        help="also run the 16-bit fixed-point SQNR probe",
+    )
+
+    p_nets = sub.add_parser(
+        "networks", help="list benchmark networks (Table 2)"
+    )
+    p_nets.add_argument(
+        "--detail",
+        default="",
+        choices=[""] + sorted(NETWORK_BUILDERS),
+        help="per-layer statistics for one network",
+    )
+    p_nets.add_argument("--top", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "report": cmd_report,
+        "plan": cmd_plan,
+        "select": cmd_select,
+        "analyze": cmd_analyze,
+        "compare": cmd_compare,
+        "simulate": cmd_simulate,
+        "networks": cmd_networks,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        sys.exit(0)

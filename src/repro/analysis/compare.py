@@ -1,0 +1,109 @@
+"""Run comparison: two policies (or configs) diffed layer by layer.
+
+"Why is plan B faster?" is the first question every schedule change
+raises; this module answers it structurally — per layer: which scheme each
+plan chose, the cycle and traffic deltas, and a verdict line naming the
+layers that moved the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+from repro.sim.trace import NetworkRun
+
+__all__ = ["LayerDelta", "compare_runs", "render_comparison"]
+
+
+@dataclass(frozen=True)
+class LayerDelta:
+    """One layer's difference between two runs."""
+
+    layer: str
+    scheme_a: str
+    scheme_b: str
+    cycles_a: float
+    cycles_b: float
+    traffic_a: int
+    traffic_b: int
+
+    @property
+    def cycles_delta(self) -> float:
+        """Positive = run B is faster on this layer."""
+        return self.cycles_a - self.cycles_b
+
+    @property
+    def speedup(self) -> float:
+        return self.cycles_a / self.cycles_b if self.cycles_b else float("inf")
+
+    @property
+    def scheme_changed(self) -> bool:
+        return self.scheme_a != self.scheme_b
+
+
+def compare_runs(run_a: NetworkRun, run_b: NetworkRun) -> List[LayerDelta]:
+    """Layer-aligned comparison; both runs must plan the same network."""
+    if run_a.network_name != run_b.network_name:
+        raise ConfigError(
+            f"cannot compare runs of different networks: "
+            f"{run_a.network_name!r} vs {run_b.network_name!r}"
+        )
+    names_a = [r.layer_name for r in run_a.layers]
+    names_b = [r.layer_name for r in run_b.layers]
+    if names_a != names_b:
+        raise ConfigError("runs cover different layer sets")
+    deltas = []
+    for a, b in zip(run_a.layers, run_b.layers):
+        deltas.append(
+            LayerDelta(
+                layer=a.layer_name,
+                scheme_a=a.scheme,
+                scheme_b=b.scheme,
+                cycles_a=a.total_cycles,
+                cycles_b=b.total_cycles,
+                traffic_a=a.buffer_accesses,
+                traffic_b=b.buffer_accesses,
+            )
+        )
+    return deltas
+
+
+def render_comparison(run_a: NetworkRun, run_b: NetworkRun) -> str:
+    """Text report of the comparison, largest movers first."""
+    from repro.analysis.report import format_table
+
+    deltas = compare_runs(run_a, run_b)
+    ordered = sorted(deltas, key=lambda d: -abs(d.cycles_delta))
+    body = [
+        [
+            d.layer,
+            d.scheme_a + (" ->" if d.scheme_changed else ""),
+            d.scheme_b if d.scheme_changed else "(same)",
+            f"{d.cycles_a:,.0f}",
+            f"{d.cycles_b:,.0f}",
+            f"{d.speedup:.2f}x",
+            f"{d.traffic_a - d.traffic_b:+,d}",
+        ]
+        for d in ordered
+    ]
+    total_speedup = run_a.total_cycles / run_b.total_cycles
+    movers = [d.layer for d in ordered[:3] if abs(d.cycles_delta) > 0]
+    title = (
+        f"{run_a.network_name}: {run_a.policy} -> {run_b.policy} = "
+        f"{total_speedup:.2f}x overall"
+        + (f"; decided by {', '.join(movers)}" if movers else "")
+    )
+    return title + "\n" + format_table(
+        [
+            "layer",
+            "scheme A",
+            "scheme B",
+            "cycles A",
+            "cycles B",
+            "speedup",
+            "traffic saved",
+        ],
+        body,
+    )

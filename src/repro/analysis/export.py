@@ -1,0 +1,69 @@
+"""Export experiment rows to CSV / JSON artifacts.
+
+Research repositories need machine-readable outputs next to the pretty
+tables; these helpers serialize any of the dataclass row lists produced by
+:mod:`repro.analysis.experiments` (plus derived properties like the
+unrolling ``factor`` or Table 4 speedups) without pulling in pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["rows_to_dicts", "to_csv", "to_json", "write_csv", "write_json"]
+
+#: computed properties worth exporting, per row type name
+_EXTRA_PROPERTIES = {
+    "Fig3Row": ("factor",),
+    "Table4Row": ("speedup16", "speedup32"),
+}
+
+
+def rows_to_dicts(rows: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Convert dataclass rows to plain dicts, including derived properties."""
+    if not rows:
+        return []
+    out = []
+    for row in rows:
+        if not dataclasses.is_dataclass(row):
+            raise ConfigError(f"not a dataclass row: {row!r}")
+        record = dataclasses.asdict(row)
+        for prop in _EXTRA_PROPERTIES.get(type(row).__name__, ()):
+            record[prop] = getattr(row, prop)
+        out.append(record)
+    return out
+
+
+def to_csv(rows: Sequence[Any]) -> str:
+    """Serialize rows as CSV text (header from the first row's fields)."""
+    records = rows_to_dicts(rows)
+    if not records:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def to_json(rows: Sequence[Any], indent: int = 2) -> str:
+    """Serialize rows as a JSON array."""
+    return json.dumps(rows_to_dicts(rows), indent=indent)
+
+
+def write_csv(rows: Sequence[Any], path: str) -> None:
+    """Write rows to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(rows))
+
+
+def write_json(rows: Sequence[Any], path: str) -> None:
+    """Write rows to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(to_json(rows))

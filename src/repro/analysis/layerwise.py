@@ -1,0 +1,101 @@
+"""Per-layer breakdown of a network run — the deep-dive report.
+
+The figure-level drivers aggregate whole networks; debugging a plan (or
+writing a paper section) needs the layer-resolution view: which scheme ran
+where, what bound it (compute vs stream), utilization, traffic, and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.adaptive.search import layer_energy_pj
+from repro.arch.energy import EnergyModel
+from repro.sim.trace import NetworkRun
+
+__all__ = ["LayerReportRow", "layerwise_rows", "render_layerwise"]
+
+
+@dataclass(frozen=True)
+class LayerReportRow:
+    """One layer of a run, fully resolved."""
+
+    layer: str
+    scheme: str
+    cycles: float
+    compute_cycles: int
+    stream_cycles: float
+    utilization: float
+    buffer_words: int
+    dram_words: int
+    energy_pj: float
+
+    @property
+    def bound(self) -> str:
+        """What limits the layer: ``"compute"`` or ``"stream"``."""
+        return "compute" if self.compute_cycles >= self.stream_cycles else "stream"
+
+
+def layerwise_rows(run: NetworkRun) -> List[LayerReportRow]:
+    """Resolve every layer of ``run`` into a report row."""
+    model = EnergyModel(run.config)
+    rows = []
+    for r in run.layers:
+        rows.append(
+            LayerReportRow(
+                layer=r.layer_name,
+                scheme=r.scheme,
+                cycles=r.total_cycles,
+                compute_cycles=r.operations,
+                stream_cycles=r.stream_cycles,
+                utilization=r.utilization,
+                buffer_words=r.buffer_accesses,
+                dram_words=r.dram_words,
+                energy_pj=layer_energy_pj(r, model),
+            )
+        )
+    return rows
+
+
+def render_layerwise(run: NetworkRun, top: int = 0) -> str:
+    """Text table of the per-layer breakdown.
+
+    ``top > 0`` keeps only the ``top`` most expensive layers (by cycles),
+    useful for the 57-conv GoogLeNet.
+    """
+    from repro.analysis.report import format_table
+
+    rows = layerwise_rows(run)
+    if top > 0:
+        rows = sorted(rows, key=lambda r: -r.cycles)[:top]
+    body = [
+        [
+            r.layer,
+            r.scheme,
+            f"{r.cycles:,.0f}",
+            r.bound,
+            f"{r.utilization:.0%}",
+            f"{r.buffer_words:,d}",
+            f"{r.dram_words:,d}",
+            f"{r.energy_pj / 1e6:.2f}",
+        ]
+        for r in rows
+    ]
+    title = (
+        f"{run.network_name} / {run.policy} on {run.config.name}: "
+        f"{run.total_cycles:,.0f} cycles total"
+    )
+    return title + "\n" + format_table(
+        [
+            "layer",
+            "scheme",
+            "cycles",
+            "bound",
+            "util",
+            "buffer words",
+            "DRAM words",
+            "energy (uJ)",
+        ],
+        body,
+    )

@@ -1,0 +1,107 @@
+"""Power traces: energy over time, layer by layer.
+
+Energy totals (Table 5) hide the temporal shape; a deployment also cares
+about *power* — average watts over the run and which layer draws the most.
+These helpers divide each layer's modelled energy by its wall-clock at the
+configuration's frequency, giving a per-layer power trace and run-level
+average/peak figures.
+
+Absolute watts inherit the energy table's 45 nm-class calibration, so treat
+them like the energy numbers: meaningful relatively, plausible absolutely
+(a few hundred mW for the 16-16 design, DianNao-era territory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.adaptive.search import layer_energy_pj
+from repro.arch.energy import EnergyModel
+from repro.errors import ConfigError
+from repro.sim.trace import NetworkRun
+
+__all__ = ["PowerSample", "power_trace", "average_power_w", "peak_power_w", "render_power"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One layer's time/energy/power point."""
+
+    layer: str
+    scheme: str
+    start_ms: float
+    duration_ms: float
+    energy_uj: float
+
+    @property
+    def power_w(self) -> float:
+        """Average power over the layer (W = uJ / ms / 1000 * 1000 = mW...)."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return (self.energy_uj * 1e-6) / (self.duration_ms * 1e-3)
+
+
+def power_trace(run: NetworkRun) -> List[PowerSample]:
+    """Per-layer power samples, with cumulative start times."""
+    model = EnergyModel(run.config)
+    samples: List[PowerSample] = []
+    clock_ms = run.input_reorder_words / run.config.dram_words_per_cycle
+    clock_ms = run.config.cycles_to_ms(clock_ms)
+    for r in run.layers:
+        duration_ms = run.config.cycles_to_ms(r.total_cycles)
+        samples.append(
+            PowerSample(
+                layer=r.layer_name,
+                scheme=r.scheme,
+                start_ms=clock_ms,
+                duration_ms=duration_ms,
+                energy_uj=layer_energy_pj(r, model) / 1e6,
+            )
+        )
+        clock_ms += duration_ms
+    return samples
+
+
+def average_power_w(run: NetworkRun) -> float:
+    """Whole-run average power (total energy / total time)."""
+    total_ms = run.milliseconds()
+    if total_ms <= 0:
+        raise ConfigError("run has no duration")
+    return (run.energy().total_pj * 1e-12) / (total_ms * 1e-3)
+
+
+def peak_power_w(run: NetworkRun) -> float:
+    """Highest per-layer average power in the run."""
+    samples = [s for s in power_trace(run) if s.duration_ms > 0]
+    if not samples:
+        raise ConfigError("run has no timed layers")
+    return max(s.power_w for s in samples)
+
+
+def render_power(run: NetworkRun, top: int = 0) -> str:
+    """Text table of the power trace."""
+    from repro.analysis.report import format_table
+
+    samples = power_trace(run)
+    if top > 0:
+        samples = sorted(samples, key=lambda s: -s.power_w)[:top]
+    body = [
+        [
+            s.layer,
+            s.scheme,
+            f"{s.start_ms:.3f}",
+            f"{s.duration_ms:.3f}",
+            f"{s.energy_uj:.1f}",
+            f"{s.power_w:.2f}",
+        ]
+        for s in samples
+    ]
+    title = (
+        f"{run.network_name}/{run.policy}: avg {average_power_w(run):.2f} W, "
+        f"peak {peak_power_w(run):.2f} W"
+    )
+    return title + "\n" + format_table(
+        ["layer", "scheme", "start (ms)", "dur (ms)", "energy (uJ)", "power (W)"],
+        body,
+    )

@@ -1,0 +1,116 @@
+"""Design-space sweep utilities.
+
+The ablation benchmarks and the design-space-exploration example all follow
+the same pattern: vary one accelerator parameter, re-plan a network, and
+collect totals.  These helpers centralize that pattern so sweeps stay
+consistent (same policy handling, same metrics) and trivially composable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.adaptive.planner import plan_network
+from repro.arch.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.nn.network import Network
+
+__all__ = [
+    "SweepPoint",
+    "sweep_parameter",
+    "sweep_pe_shapes",
+    "pe_shapes_for_budget",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: the varied value and the resulting totals."""
+
+    value: object
+    config_name: str
+    total_cycles: float
+    compute_cycles: int
+    utilization: float
+    buffer_accesses: int
+    dram_words: int
+
+    def milliseconds(self, frequency_hz: float) -> float:
+        return self.total_cycles / frequency_hz * 1e3
+
+
+def _point(value, config: AcceleratorConfig, run) -> SweepPoint:
+    return SweepPoint(
+        value=value,
+        config_name=config.name,
+        total_cycles=run.total_cycles,
+        compute_cycles=run.compute_cycles,
+        utilization=run.utilization,
+        buffer_accesses=run.buffer_accesses,
+        dram_words=run.dram_words,
+    )
+
+
+def sweep_parameter(
+    net: Network,
+    base: AcceleratorConfig,
+    parameter: str,
+    values: Sequence,
+    policy: str = "adaptive-2",
+    include_non_conv: bool = False,
+) -> List[SweepPoint]:
+    """Re-plan ``net`` for each value of one AcceleratorConfig field.
+
+    ``parameter`` must be a real config field (e.g.
+    ``"dram_words_per_cycle"``, ``"input_buffer_bytes"``).
+    """
+    field_names = {f.name for f in dataclasses.fields(AcceleratorConfig)}
+    if parameter not in field_names:
+        raise ConfigError(
+            f"unknown config parameter {parameter!r}; "
+            f"choose from {sorted(field_names)}"
+        )
+    points = []
+    for value in values:
+        config = dataclasses.replace(base, **{parameter: value})
+        run = plan_network(net, config, policy, include_non_conv=include_non_conv)
+        points.append(_point(value, config, run))
+    return points
+
+
+def pe_shapes_for_budget(
+    budget: int,
+    tolerance: float = 0.125,
+    widths: Sequence[int] = (4, 8, 16, 32, 64, 128),
+) -> List[Tuple[int, int]]:
+    """(Tin, Tout) shapes whose multiplier count is within tolerance of budget."""
+    if budget <= 0:
+        raise ConfigError("budget must be positive")
+    shapes = [
+        (tin, tout)
+        for tin in widths
+        for tout in widths
+        if abs(tin * tout - budget) / budget <= tolerance
+    ]
+    if not shapes:
+        raise ConfigError(
+            f"no (Tin, Tout) shape within {tolerance:.0%} of {budget} multipliers"
+        )
+    return shapes
+
+
+def sweep_pe_shapes(
+    net: Network,
+    base: AcceleratorConfig,
+    budget: int,
+    policy: str = "adaptive-2",
+) -> Dict[str, SweepPoint]:
+    """Plan ``net`` on every PE shape at (approximately) one multiplier budget."""
+    out: Dict[str, SweepPoint] = {}
+    for tin, tout in pe_shapes_for_budget(budget):
+        config = base.with_pe(tin, tout)
+        run = plan_network(net, config, policy)
+        out[config.name] = _point((tin, tout), config, run)
+    return out

@@ -1,0 +1,55 @@
+"""Execution timeline: what bounds each layer, drawn as paired bars.
+
+For every layer of a run, two bars on a shared linear scale — the PE
+array's compute cycles and the memory-side stream cycles (DMA and host
+reshape, which pipeline).  The layer's wall-clock is the longer bar; a
+layer is "memory-bound" exactly when its stream bar wins.  This is the
+picture behind the VGG discussion and the intra-unrolling penalties.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.sim.trace import NetworkRun
+
+__all__ = ["render_timeline"]
+
+_COMPUTE = "█"
+_STREAM = "░"
+
+
+def render_timeline(run: NetworkRun, width: int = 50, top: int = 0) -> str:
+    """ASCII compute-vs-stream timeline of a run.
+
+    ``top > 0`` keeps only the ``top`` longest layers.
+    """
+    if not run.layers:
+        raise ConfigError("run has no layers to draw")
+    layers = list(run.layers)
+    if top > 0:
+        layers = sorted(layers, key=lambda r: -r.total_cycles)[:top]
+    longest = max(r.total_cycles for r in layers)
+    if longest <= 0:
+        raise ConfigError("run has no cycles to draw")
+    label_w = max(len(r.layer_name) for r in layers)
+    scheme_w = max(len(r.scheme) for r in layers)
+
+    lines: List[str] = [
+        f"{run.network_name} / {run.policy} on {run.config.name} — "
+        f"compute ({_COMPUTE}) vs stream ({_STREAM}), "
+        f"{longest:,.0f} cycles full scale"
+    ]
+    for r in layers:
+        compute_w = round(r.operations / longest * width)
+        stream_w = round(r.stream_cycles / longest * width)
+        bound = "C" if r.operations >= r.stream_cycles else "M"
+        lines.append(
+            f"{r.layer_name.rjust(label_w)} {r.scheme.ljust(scheme_w)} "
+            f"[{bound}] {_COMPUTE * compute_w}"
+        )
+        lines.append(
+            f"{' ' * label_w} {' ' * scheme_w}     {_STREAM * stream_w}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Accelerator configuration (the paper's Table 3).
+
+A configuration is named after its PE width, e.g. ``16-16`` means the
+computation engine takes 16 inputs from input feature maps and 16 inputs
+from weights, i.e. ``Tin * Tout = 256`` multipliers feeding ``Tout = 16``
+adder trees.  Buffer sizes default to Table 3: 2 MB input/output buffers,
+1 MB weight buffer, 4 KB bias buffer; every primitive operation
+(multiplication, add, load, store) costs one cycle, i.e. the pipelined
+array retires one operation per cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.errors import ConfigError
+
+__all__ = ["AcceleratorConfig", "CONFIG_16_16", "CONFIG_32_32", "named_config"]
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Hardware parameters of the C-Brain-style accelerator.
+
+    Attributes
+    ----------
+    tin:
+        Data-side PE width: input-feature-map words consumed per cycle.
+    tout:
+        Output-side PE width: number of adder trees / partial sums per cycle.
+    input_buffer_bytes / output_buffer_bytes / weight_buffer_bytes / bias_buffer_bytes:
+        On-chip SRAM capacities (Table 3).
+    word_bytes:
+        Datapath word width; the paper uses 16-bit fixed point.
+    frequency_hz:
+        Clock used to convert cycles to time (1 GHz in Table 4,
+        down-scaled to 100 MHz for the Fig. 9 comparison).
+    dram_words_per_cycle:
+        Sustained off-chip DMA bandwidth in words per accelerator cycle,
+        used to charge off-chip spill traffic when a working set exceeds
+        the on-chip buffers (the paper's VGG discussion).
+    """
+
+    tin: int = 16
+    tout: int = 16
+    input_buffer_bytes: int = 2 * MB
+    output_buffer_bytes: int = 2 * MB
+    weight_buffer_bytes: int = 1 * MB
+    bias_buffer_bytes: int = 4 * KB
+    word_bytes: int = 2
+    frequency_hz: float = 1e9
+    dram_words_per_cycle: float = 4.0
+    #: double buffering: overlap compute with the DMA/reshape streams.
+    #: Disabling it serializes the two (the ablation for the paper's
+    #: "moves the data fetch operations off the critical path" claim).
+    overlap_streams: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tin <= 0 or self.tout <= 0:
+            raise ConfigError(f"PE widths must be positive, got {self.tin}-{self.tout}")
+        for attr in (
+            "input_buffer_bytes",
+            "output_buffer_bytes",
+            "weight_buffer_bytes",
+            "bias_buffer_bytes",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{attr} must be positive")
+        if self.word_bytes <= 0:
+            raise ConfigError("word_bytes must be positive")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency_hz must be positive")
+        if self.dram_words_per_cycle <= 0:
+            raise ConfigError("dram_words_per_cycle must be positive")
+
+    @property
+    def multipliers(self) -> int:
+        """Total multipliers in the PE array (``Tin * Tout``)."""
+        return self.tin * self.tout
+
+    @property
+    def name(self) -> str:
+        """The paper's naming convention, e.g. ``"16-16"``."""
+        return f"{self.tin}-{self.tout}"
+
+    @property
+    def input_buffer_words(self) -> int:
+        return self.input_buffer_bytes // self.word_bytes
+
+    @property
+    def output_buffer_words(self) -> int:
+        return self.output_buffer_bytes // self.word_bytes
+
+    @property
+    def weight_buffer_words(self) -> int:
+        return self.weight_buffer_bytes // self.word_bytes
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at this clock."""
+        return cycles / self.frequency_hz
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds at this clock."""
+        return self.cycles_to_seconds(cycles) * 1e3
+
+    def with_pe(self, tin: int, tout: int) -> "AcceleratorConfig":
+        """Copy with a different PE width (used for design-space sweeps)."""
+        return replace(self, tin=tin, tout=tout)
+
+    def with_frequency(self, hz: float) -> "AcceleratorConfig":
+        """Copy with a different clock (Fig. 9 down-scales to 100 MHz)."""
+        return replace(self, frequency_hz=hz)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form (JSON-friendly) for config files and exports."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "AcceleratorConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ConfigError(f"unknown config keys: {sorted(unknown)}")
+        return cls(**data)
+
+
+#: Table 3's two evaluated PE widths.
+CONFIG_16_16 = AcceleratorConfig(tin=16, tout=16)
+CONFIG_32_32 = AcceleratorConfig(tin=32, tout=32)
+
+
+def named_config(name: str) -> AcceleratorConfig:
+    """Parse a ``"Tin-Tout"`` string into a configuration."""
+    try:
+        tin_s, tout_s = name.split("-")
+        return AcceleratorConfig(tin=int(tin_s), tout=int(tout_s))
+    except (ValueError, TypeError):
+        raise ConfigError(f"bad configuration name {name!r}; expected 'Tin-Tout'") from None

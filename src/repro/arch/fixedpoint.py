@@ -1,0 +1,86 @@
+"""16-bit fixed-point arithmetic (the paper's PE datapath width).
+
+Table 3 specifies a 16-bit fixed-point datapath, validated "good enough" with
+reference to DianNao [8].  This module provides the quantize/dequantize pair
+used by the functional simulator so that schedule-equivalence tests can also
+be run at datapath precision, plus saturating arithmetic helpers matching
+what a hardware MAC would do.
+
+Format: Qm.n two's-complement, default Q7.8 (1 sign bit, 7 integer bits,
+8 fraction bits), which covers typical post-normalization activation ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["FixedPointFormat", "Q7_8", "quantize", "dequantize"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed Qm.n fixed-point format stored in ``total_bits`` bits."""
+
+    total_bits: int = 16
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_bits <= 1:
+            raise ConfigError("need at least a sign bit plus one value bit")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ConfigError(
+                f"frac_bits {self.frac_bits} out of range for "
+                f"{self.total_bits}-bit format"
+            )
+
+    @property
+    def scale(self) -> int:
+        """Integer units per 1.0 (``2**frac_bits``)."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_int(self) -> int:
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_int(self) -> int:
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_int / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable real value."""
+        return self.min_int / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Real-value step between adjacent codes."""
+        return 1.0 / self.scale
+
+
+#: The default Q7.8 16-bit format.
+Q7_8 = FixedPointFormat(total_bits=16, frac_bits=8)
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat = Q7_8) -> np.ndarray:
+    """Quantize real values to fixed-point integer codes (saturating).
+
+    Returns an ``int32`` array of codes (kept wider than the format so the
+    caller can accumulate without immediate overflow, as real MAC datapaths
+    keep wide accumulators).
+    """
+    scaled = np.rint(np.asarray(values, dtype=np.float64) * fmt.scale)
+    return np.clip(scaled, fmt.min_int, fmt.max_int).astype(np.int64)
+
+
+def dequantize(codes: np.ndarray, fmt: FixedPointFormat = Q7_8) -> np.ndarray:
+    """Map integer codes back to real values."""
+    return np.asarray(codes, dtype=np.float64) / fmt.scale

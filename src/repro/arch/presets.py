@@ -1,0 +1,93 @@
+"""Named accelerator presets: the design space's landmarks.
+
+Beyond Table 3's two C-Brain configurations, these presets approximate the
+PE/buffer budgets of the designs the paper positions itself against, so a
+user can replay the whole evaluation on a neighbouring architecture with
+one name:
+
+* ``cbrain-16-16`` / ``cbrain-32-32`` — Table 3 verbatim;
+* ``diannao`` — DianNao [8]: 16x16 multiplier tree (the paper's ``inter``
+  baseline *is* its dataflow) but with DianNao's much smaller SRAMs
+  (2 KB x 3 buffers scaled here to its published 44 KB total);
+* ``zhang-fpga`` — the [14] budget: 7x64 unroll at 100 MHz with generous
+  FPGA BRAM;
+* ``shidiannao`` — ShiDianNao [15]: a 16x16 mesh-era budget with 288 KB of
+  on-chip SRAM, no external DRAM dependence for its target workloads (we
+  keep a narrow 1 word/cycle DMA to reflect its sensor-streaming context);
+* ``embedded`` — a deliberately starved corner (8x8, 256 KB, 1 word/cycle)
+  for stress-testing the planner.
+
+These are architectural *budgets* for what-if exploration, not bit-exact
+reconstructions of those chips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32, AcceleratorConfig
+from repro.errors import ConfigError
+
+__all__ = ["PRESETS", "preset", "preset_names"]
+
+KB = 1024
+MB = 1024 * KB
+
+PRESETS: Dict[str, AcceleratorConfig] = {
+    "cbrain-16-16": CONFIG_16_16,
+    "cbrain-32-32": CONFIG_32_32,
+    "diannao": AcceleratorConfig(
+        tin=16,
+        tout=16,
+        input_buffer_bytes=16 * KB,
+        output_buffer_bytes=16 * KB,
+        weight_buffer_bytes=16 * KB,
+        bias_buffer_bytes=2 * KB,
+        frequency_hz=0.98e9,
+        dram_words_per_cycle=4.0,
+    ),
+    "zhang-fpga": AcceleratorConfig(
+        tin=7,
+        tout=64,
+        input_buffer_bytes=2 * MB,
+        output_buffer_bytes=2 * MB,
+        weight_buffer_bytes=2 * MB,
+        bias_buffer_bytes=4 * KB,
+        frequency_hz=100e6,
+        dram_words_per_cycle=8.0,
+    ),
+    "shidiannao": AcceleratorConfig(
+        tin=16,
+        tout=16,
+        input_buffer_bytes=128 * KB,
+        output_buffer_bytes=128 * KB,
+        weight_buffer_bytes=32 * KB,
+        bias_buffer_bytes=2 * KB,
+        frequency_hz=1e9,
+        dram_words_per_cycle=1.0,
+    ),
+    "embedded": AcceleratorConfig(
+        tin=8,
+        tout=8,
+        input_buffer_bytes=128 * KB,
+        output_buffer_bytes=96 * KB,
+        weight_buffer_bytes=32 * KB,
+        bias_buffer_bytes=1 * KB,
+        frequency_hz=500e6,
+        dram_words_per_cycle=1.0,
+    ),
+}
+
+
+def preset(name: str) -> AcceleratorConfig:
+    """Look up a named preset."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+
+
+def preset_names() -> List[str]:
+    return sorted(PRESETS)

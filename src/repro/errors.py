@@ -1,0 +1,48 @@
+"""Exception hierarchy for the C-Brain reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate configuration problems from modelling problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError):
+    """A tensor/layer shape is inconsistent or impossible.
+
+    Raised during shape inference (e.g. a kernel larger than its padded
+    input) and by tiling transforms that receive incompatible geometry.
+    """
+
+
+class ConfigError(ReproError):
+    """An accelerator or model configuration is invalid.
+
+    Examples: non-positive PE width, a buffer of zero bytes, an unknown
+    scheme name passed to a factory.
+    """
+
+
+class ScheduleError(ReproError):
+    """A parallelization scheme cannot legally schedule the given layer.
+
+    Example: kernel-partitioning requested for a layer whose stride is not
+    smaller than its kernel (the transform would be degenerate).
+    """
+
+
+class CapacityError(ReproError):
+    """A working set cannot be made to fit on-chip even after tiling."""
+
+
+class CompileError(ReproError):
+    """The macro-instruction compiler received an inconsistent plan."""
+
+
+class SimulationError(ReproError):
+    """The instruction-stream machine encountered an illegal program."""

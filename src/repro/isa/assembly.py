@@ -1,0 +1,102 @@
+"""Textual assembly for macro programs: dump and re-load instruction streams.
+
+A compiled program is an artifact worth persisting — for diffing two
+compiler versions, inspecting a schedule offline, or replaying a stream on
+the machine without re-planning.  The format is line-oriented:
+
+    ; program alexnet:adaptive-2
+    .meta network alexnet
+    .meta policy adaptive-2
+    dma_load_input     words=154587
+    compute            ops=490050 macs=105415200
+    buf_write_output   words=7840800
+    sync
+
+Comments (``;``) and blank lines are ignored.  ``assemble(disassemble(p))``
+is an exact round trip.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CompileError
+from repro.isa.instructions import Instruction, Opcode, Program
+
+__all__ = ["disassemble", "assemble"]
+
+_BY_VALUE = {op.value: op for op in Opcode}
+
+
+def disassemble(program: Program) -> str:
+    """Render a program as assembly text."""
+    lines: List[str] = [f"; program {program.name}"]
+    for key, value in sorted(program.meta.items()):
+        lines.append(f".meta {key} {value}")
+    for inst in program:
+        fields = []
+        if inst.words:
+            fields.append(f"words={inst.words}")
+        if inst.operations:
+            fields.append(f"ops={inst.operations}")
+        if inst.macs:
+            fields.append(f"macs={inst.macs}")
+        suffix = f" ; {inst.comment}" if inst.comment else ""
+        lines.append(
+            f"{inst.opcode.value:<18s} {' '.join(fields)}{suffix}".rstrip()
+        )
+    return "\n".join(lines) + "\n"
+
+
+def assemble(text: str, name: str = "assembled") -> Program:
+    """Parse assembly text back into a Program.
+
+    Raises :class:`CompileError` on unknown opcodes or malformed operands.
+    """
+    program = Program(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            continue
+        comment = ""
+        if ";" in line:
+            line, comment = line.split(";", 1)
+            line, comment = line.strip(), comment.strip()
+            if not line:
+                continue
+        if line.startswith(".meta"):
+            parts = line.split(maxsplit=2)
+            if len(parts) < 3:
+                raise CompileError(f"line {lineno}: malformed .meta directive")
+            program.meta[parts[1]] = parts[2]
+            continue
+        tokens = line.split()
+        opcode = _BY_VALUE.get(tokens[0])
+        if opcode is None:
+            raise CompileError(f"line {lineno}: unknown opcode {tokens[0]!r}")
+        operands = {"words": 0, "operations": 0, "macs": 0}
+        alias = {"words": "words", "ops": "operations", "macs": "macs"}
+        for token in tokens[1:]:
+            if "=" not in token:
+                raise CompileError(f"line {lineno}: malformed operand {token!r}")
+            key, _, value = token.partition("=")
+            if key not in alias:
+                raise CompileError(f"line {lineno}: unknown operand {key!r}")
+            try:
+                operands[alias[key]] = int(value)
+            except ValueError:
+                raise CompileError(
+                    f"line {lineno}: non-integer operand {token!r}"
+                ) from None
+        program.emit(
+            Instruction(
+                opcode,
+                words=operands["words"],
+                operations=operands["operations"],
+                macs=operands["macs"],
+                comment=comment,
+            )
+        )
+    return program

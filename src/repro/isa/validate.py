@@ -1,0 +1,104 @@
+"""Static validation (linting) of macro instruction programs.
+
+The machine raises at runtime when a program is physically impossible; the
+linter catches the same classes of problems — plus structural ones the
+machine tolerates — *before* execution, the way the paper's compiler would
+refuse to emit an unschedulable stream.
+
+Checks:
+
+* every COMPUTE respects the array peak (``macs <= ops * Tin * Tout``);
+* non-negative operands (enforced by Instruction, re-checked defensively);
+* the program is SYNC-terminated (an open region means a lost barrier);
+* buffer working sets: the largest single DMA fill must fit the target
+  buffer (a burst bigger than the SRAM cannot be double-buffered away);
+* the output drained to DRAM never exceeds what was written to the output
+  buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.arch.config import AcceleratorConfig
+from repro.isa.instructions import Opcode, Program
+
+__all__ = ["LintIssue", "lint_program", "assert_valid"]
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One problem found in a program."""
+
+    index: int  # instruction index, -1 for whole-program issues
+    severity: str  # "error" | "warning"
+    message: str
+
+
+@dataclass
+class _Totals:
+    output_written: int = 0
+    output_drained: int = 0
+
+
+def lint_program(program: Program, config: AcceleratorConfig) -> List[LintIssue]:
+    """Return all issues found in ``program`` (empty = clean)."""
+    issues: List[LintIssue] = []
+    totals = _Totals()
+    buffer_caps = {
+        "input": config.input_buffer_words,
+        "weight": config.weight_buffer_words,
+        "bias": config.bias_buffer_bytes // config.word_bytes,
+    }
+
+    for idx, inst in enumerate(program):
+        if inst.opcode is Opcode.COMPUTE:
+            peak = inst.operations * config.multipliers
+            if inst.macs > peak:
+                issues.append(
+                    LintIssue(
+                        idx,
+                        "error",
+                        f"COMPUTE claims {inst.macs} MACs in "
+                        f"{inst.operations} ops (peak {peak})",
+                    )
+                )
+        fill = inst.dma_fill_target
+        if fill is not None and inst.words > buffer_caps[fill]:
+            issues.append(
+                LintIssue(
+                    idx,
+                    "warning",
+                    f"single {fill}-buffer fill of {inst.words} words "
+                    f"exceeds its capacity {buffer_caps[fill]} "
+                    "(must be split across passes)",
+                )
+            )
+        if inst.opcode is Opcode.BUF_WRITE_OUTPUT:
+            totals.output_written += inst.words
+        if inst.opcode is Opcode.DMA_STORE_OUTPUT:
+            totals.output_drained += inst.words
+
+    if totals.output_drained > totals.output_written:
+        issues.append(
+            LintIssue(
+                -1,
+                "error",
+                f"drains {totals.output_drained} output words but only "
+                f"{totals.output_written} were written",
+            )
+        )
+    if len(program) and program.instructions[-1].opcode is not Opcode.SYNC:
+        issues.append(
+            LintIssue(-1, "warning", "program does not end with SYNC")
+        )
+    return issues
+
+
+def assert_valid(program: Program, config: AcceleratorConfig) -> None:
+    """Raise ``AssertionError`` listing any *errors* (warnings pass)."""
+    errors = [i for i in lint_program(program, config) if i.severity == "error"]
+    if errors:
+        listing = "; ".join(f"[{i.index}] {i.message}" for i in errors)
+        raise AssertionError(f"invalid program {program.name!r}: {listing}")

@@ -1,0 +1,98 @@
+"""Per-layer network statistics: the workload characterization view.
+
+Table 2 summarizes each benchmark in one row; planning or sizing hardware
+needs the layer-resolution view — MACs, parameters, activation footprints,
+and arithmetic intensity (MACs per byte moved), which predicts whether a
+layer will be compute- or memory-bound on a given DMA budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.nn.layers import ConvLayer, FCLayer
+from repro.nn.network import Network
+
+__all__ = ["LayerStats", "network_stats", "render_network_stats"]
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Workload characterization of one weighted layer."""
+
+    layer: str
+    kind: str
+    macs: int
+    weights: int
+    input_elements: int
+    output_elements: int
+
+    @property
+    def moved_elements(self) -> int:
+        """Words moved if each tensor crosses the interface once."""
+        return self.input_elements + self.weights + self.output_elements
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per word of compulsory traffic (the roofline x-axis)."""
+        return self.macs / self.moved_elements if self.moved_elements else 0.0
+
+
+def network_stats(net: Network) -> List[LayerStats]:
+    """Stats for every conv/FC layer of ``net``, in execution order."""
+    rows: List[LayerStats] = []
+    for ctx in net.contexts():
+        if not isinstance(ctx.layer, (ConvLayer, FCLayer)):
+            continue
+        rows.append(
+            LayerStats(
+                layer=ctx.name,
+                kind="conv" if isinstance(ctx.layer, ConvLayer) else "fc",
+                macs=ctx.macs,
+                weights=ctx.weights,
+                input_elements=ctx.in_shape.elements,
+                output_elements=ctx.out_shape.elements,
+            )
+        )
+    return rows
+
+
+def render_network_stats(net: Network, top: int = 0) -> str:
+    """Text table of the per-layer characterization."""
+    from repro.analysis.report import format_table
+
+    rows = network_stats(net)
+    if top > 0:
+        rows = sorted(rows, key=lambda r: -r.macs)[:top]
+    total_macs = sum(r.macs for r in network_stats(net))
+    body = [
+        [
+            r.layer,
+            r.kind,
+            f"{r.macs:.3e}",
+            f"{100 * r.macs / total_macs:.1f}%",
+            f"{r.weights:,d}",
+            f"{r.input_elements:,d}",
+            f"{r.output_elements:,d}",
+            f"{r.arithmetic_intensity:.1f}",
+        ]
+        for r in rows
+    ]
+    return (
+        f"{net.name}: {total_macs:.3e} MACs across "
+        f"{len(network_stats(net))} weighted layers\n"
+        + format_table(
+            [
+                "layer",
+                "kind",
+                "MACs",
+                "share",
+                "weights",
+                "inputs",
+                "outputs",
+                "MACs/word",
+            ],
+            body,
+        )
+    )

@@ -1,0 +1,63 @@
+"""AlexNet (Krizhevsky et al., NIPS 2012) — the paper's benchmark "Anet".
+
+This is the original two-column (grouped) topology, which is what the paper
+measures: it quotes ``Din = 3, 48, 256`` for c1/c2/c3, and 48 is exactly the
+per-group depth of conv2 in the grouped network.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    ConvLayer,
+    FCLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    TensorShape,
+)
+from repro.nn.network import Network
+
+__all__ = ["build_alexnet"]
+
+
+def build_alexnet(include_fc: bool = True) -> Network:
+    """Build AlexNet with a 3 x 227 x 227 input.
+
+    Conv shapes (depth x h x w): conv1 96x55x55, conv2 256x27x27,
+    conv3 384x13x13, conv4 384x13x13, conv5 256x13x13.
+    """
+    net = Network("alexnet", TensorShape(3, 227, 227))
+    net.add(ConvLayer("conv1", in_maps=3, out_maps=96, kernel=11, stride=4))
+    net.add(ReLULayer("relu1"))
+    net.add(LRNLayer("norm1"))
+    net.add(PoolLayer("pool1", kernel=3, stride=2))
+    net.add(
+        ConvLayer(
+            "conv2", in_maps=96, out_maps=256, kernel=5, stride=1, pad=2, groups=2
+        )
+    )
+    net.add(ReLULayer("relu2"))
+    net.add(LRNLayer("norm2"))
+    net.add(PoolLayer("pool2", kernel=3, stride=2))
+    net.add(ConvLayer("conv3", in_maps=256, out_maps=384, kernel=3, stride=1, pad=1))
+    net.add(ReLULayer("relu3"))
+    net.add(
+        ConvLayer(
+            "conv4", in_maps=384, out_maps=384, kernel=3, stride=1, pad=1, groups=2
+        )
+    )
+    net.add(ReLULayer("relu4"))
+    net.add(
+        ConvLayer(
+            "conv5", in_maps=384, out_maps=256, kernel=3, stride=1, pad=1, groups=2
+        )
+    )
+    net.add(ReLULayer("relu5"))
+    net.add(PoolLayer("pool5", kernel=3, stride=2))
+    if include_fc:
+        net.add(FCLayer("fc6", out_features=4096))
+        net.add(ReLULayer("relu6"))
+        net.add(FCLayer("fc7", out_features=4096))
+        net.add(ReLULayer("relu7"))
+        net.add(FCLayer("fc8", out_features=1000))
+    return net

@@ -1,0 +1,107 @@
+"""Compact DSL for building sequential CNNs.
+
+Downstream users mostly want to sketch a topology quickly; this builder
+turns a spec string into a :class:`~repro.nn.network.Network`:
+
+    >>> net = sequential_cnn("mini", (3, 32, 32),
+    ...                      "C16k3s1p1 R P2 C32k5s1p2 R P2 F10")
+
+Tokens (whitespace-separated):
+
+``C<out>k<k>[s<s>][p<p>][g<g>]``
+    convolution with ``out`` maps, kernel ``k``, stride ``s`` (default 1),
+    pad ``p`` (default 0), groups ``g`` (default 1)
+``P<k>[s<s>][a]``
+    max pool of window ``k``, stride ``s`` (default = ``k``); trailing
+    ``a`` makes it average pooling
+``F<out>``
+    fully connected layer with ``out`` features
+``R``
+    ReLU
+``N``
+    LRN (AlexNet defaults)
+
+Layer names are auto-generated (``conv1``, ``pool1``, ...).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.nn.layers import (
+    ConvLayer,
+    FCLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    TensorShape,
+)
+from repro.nn.network import Network
+
+__all__ = ["sequential_cnn"]
+
+_CONV = re.compile(r"^C(\d+)k(\d+)(?:s(\d+))?(?:p(\d+))?(?:g(\d+))?$")
+_POOL = re.compile(r"^P(\d+)(?:s(\d+))?(a)?$")
+_FC = re.compile(r"^F(\d+)$")
+
+
+def sequential_cnn(name: str, input_shape, spec: str) -> Network:
+    """Build a sequential CNN from a spec string (see module docstring)."""
+    if isinstance(input_shape, tuple):
+        input_shape = TensorShape(*input_shape)
+    net = Network(name, input_shape)
+    counters: Dict[str, int] = {}
+    depth = input_shape.depth
+
+    def next_name(kind: str) -> str:
+        counters[kind] = counters.get(kind, 0) + 1
+        return f"{kind}{counters[kind]}"
+
+    for token in spec.split():
+        conv = _CONV.match(token)
+        if conv:
+            out, k, s, p, g = (
+                int(conv.group(1)),
+                int(conv.group(2)),
+                int(conv.group(3) or 1),
+                int(conv.group(4) or 0),
+                int(conv.group(5) or 1),
+            )
+            net.add(
+                ConvLayer(
+                    next_name("conv"),
+                    in_maps=depth,
+                    out_maps=out,
+                    kernel=k,
+                    stride=s,
+                    pad=p,
+                    groups=g,
+                )
+            )
+            depth = out
+            continue
+        pool = _POOL.match(token)
+        if pool:
+            k = int(pool.group(1))
+            s = int(pool.group(2) or k)
+            mode = "avg" if pool.group(3) else "max"
+            net.add(PoolLayer(next_name("pool"), kernel=k, stride=s, mode=mode))
+            continue
+        fc = _FC.match(token)
+        if fc:
+            out = int(fc.group(1))
+            net.add(FCLayer(next_name("fc"), out_features=out))
+            depth = out
+            continue
+        if token == "R":
+            net.add(ReLULayer(next_name("relu")))
+            continue
+        if token == "N":
+            net.add(LRNLayer(next_name("norm")))
+            continue
+        raise ConfigError(f"cannot parse layer token {token!r}")
+    if len(net) == 0:
+        raise ConfigError("empty network spec")
+    return net

@@ -1,0 +1,145 @@
+"""GoogLeNet (Szegedy et al., 2014) — the paper's benchmark "Gnet".
+
+Full inception-v1 topology: 57 convolutional layers (conv1, conv2 reduce,
+conv2, and nine inception modules with six convs each), matching the paper's
+Table 2 row (#conv layers = 57, kernel types 7/5/3/1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.nn.layers import (
+    ConcatLayer,
+    ConvLayer,
+    FCLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    TensorShape,
+)
+from repro.nn.network import Network
+
+__all__ = ["build_googlenet", "InceptionSpec", "INCEPTION_SPECS"]
+
+
+@dataclass(frozen=True)
+class InceptionSpec:
+    """Channel widths of one inception module (standard GoogLeNet table)."""
+
+    name: str
+    out_1x1: int
+    reduce_3x3: int
+    out_3x3: int
+    reduce_5x5: int
+    out_5x5: int
+    pool_proj: int
+
+    @property
+    def output_depth(self) -> int:
+        return self.out_1x1 + self.out_3x3 + self.out_5x5 + self.pool_proj
+
+
+INCEPTION_SPECS: Tuple[InceptionSpec, ...] = (
+    InceptionSpec("3a", 64, 96, 128, 16, 32, 32),
+    InceptionSpec("3b", 128, 128, 192, 32, 96, 64),
+    InceptionSpec("4a", 192, 96, 208, 16, 48, 64),
+    InceptionSpec("4b", 160, 112, 224, 24, 64, 64),
+    InceptionSpec("4c", 128, 128, 256, 24, 64, 64),
+    InceptionSpec("4d", 112, 144, 288, 32, 64, 64),
+    InceptionSpec("4e", 256, 160, 320, 32, 128, 128),
+    InceptionSpec("5a", 256, 160, 320, 32, 128, 128),
+    InceptionSpec("5b", 384, 192, 384, 48, 128, 128),
+)
+
+
+def _add_inception(net: Network, spec: InceptionSpec, input_name: str, in_maps: int) -> str:
+    """Wire one inception module; returns the name of its concat output."""
+    p = f"inception_{spec.name}"
+    # branch 1: 1x1
+    net.add(
+        ConvLayer(f"{p}/1x1", in_maps=in_maps, out_maps=spec.out_1x1, kernel=1),
+        inputs=[input_name],
+    )
+    # branch 2: 1x1 reduce -> 3x3
+    net.add(
+        ConvLayer(f"{p}/3x3_reduce", in_maps=in_maps, out_maps=spec.reduce_3x3, kernel=1),
+        inputs=[input_name],
+    )
+    net.add(
+        ConvLayer(
+            f"{p}/3x3",
+            in_maps=spec.reduce_3x3,
+            out_maps=spec.out_3x3,
+            kernel=3,
+            pad=1,
+        ),
+        inputs=[f"{p}/3x3_reduce"],
+    )
+    # branch 3: 1x1 reduce -> 5x5
+    net.add(
+        ConvLayer(f"{p}/5x5_reduce", in_maps=in_maps, out_maps=spec.reduce_5x5, kernel=1),
+        inputs=[input_name],
+    )
+    net.add(
+        ConvLayer(
+            f"{p}/5x5",
+            in_maps=spec.reduce_5x5,
+            out_maps=spec.out_5x5,
+            kernel=5,
+            pad=2,
+        ),
+        inputs=[f"{p}/5x5_reduce"],
+    )
+    # branch 4: 3x3 max-pool -> 1x1 projection
+    net.add(
+        PoolLayer(f"{p}/pool", kernel=3, stride=1, pad=1),
+        inputs=[input_name],
+    )
+    net.add(
+        ConvLayer(f"{p}/pool_proj", in_maps=in_maps, out_maps=spec.pool_proj, kernel=1),
+        inputs=[f"{p}/pool"],
+    )
+    concat = ConcatLayer(
+        f"{p}/output",
+        branch_depths=(spec.out_1x1, spec.out_3x3, spec.out_5x5, spec.pool_proj),
+    )
+    net.add(
+        concat,
+        inputs=[f"{p}/1x1", f"{p}/3x3", f"{p}/5x5", f"{p}/pool_proj"],
+    )
+    return f"{p}/output"
+
+
+def build_googlenet(include_fc: bool = True) -> Network:
+    """Build GoogLeNet with a 3 x 224 x 224 input (57 conv layers)."""
+    net = Network("googlenet", TensorShape(3, 224, 224))
+    net.add(ConvLayer("conv1/7x7_s2", in_maps=3, out_maps=64, kernel=7, stride=2, pad=3))
+    net.add(ReLULayer("conv1/relu"))
+    net.add(PoolLayer("pool1/3x3_s2", kernel=3, stride=2, ceil_mode=True))
+    net.add(LRNLayer("pool1/norm1"))
+    net.add(ConvLayer("conv2/3x3_reduce", in_maps=64, out_maps=64, kernel=1))
+    net.add(ReLULayer("conv2/relu_reduce"))
+    net.add(ConvLayer("conv2/3x3", in_maps=64, out_maps=192, kernel=3, pad=1))
+    net.add(ReLULayer("conv2/relu"))
+    net.add(LRNLayer("conv2/norm2"))
+    net.add(PoolLayer("pool2/3x3_s2", kernel=3, stride=2, ceil_mode=True))
+
+    current = "pool2/3x3_s2"
+    in_maps = 192
+    for spec in INCEPTION_SPECS:
+        current = _add_inception(net, spec, current, in_maps)
+        in_maps = spec.output_depth
+        if spec.name in ("3b", "4e"):
+            pool_name = f"pool_after_{spec.name}"
+            net.add(
+                PoolLayer(pool_name, kernel=3, stride=2, ceil_mode=True),
+                inputs=[current],
+            )
+            current = pool_name
+
+    net.add(PoolLayer("pool5/7x7_s1", kernel=7, stride=1, mode="avg"), inputs=[current])
+    if include_fc:
+        net.add(FCLayer("loss3/classifier", out_features=1000))
+    return net

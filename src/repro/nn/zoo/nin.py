@@ -1,0 +1,55 @@
+"""Network-in-Network (Lin et al., ICLR 2014) — the paper's benchmark "NiN".
+
+The ImageNet NiN: four mlpconv blocks, each a spatial conv followed by two
+1x1 "cccp" convs — 12 convolutional layers with kernel types 11/5/3/1,
+matching the paper's Table 2 row.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import ConvLayer, PoolLayer, ReLULayer, TensorShape
+from repro.nn.network import Network
+
+__all__ = ["build_nin"]
+
+
+def build_nin() -> Network:
+    """Build NiN with a 3 x 227 x 227 input (conv1: 3,11,4,96 as in Table 2)."""
+    net = Network("nin", TensorShape(3, 227, 227))
+
+    # block 1: 11x11/4 conv + two 1x1 mlp layers
+    net.add(ConvLayer("conv1", in_maps=3, out_maps=96, kernel=11, stride=4))
+    net.add(ReLULayer("relu0"))
+    net.add(ConvLayer("cccp1", in_maps=96, out_maps=96, kernel=1))
+    net.add(ReLULayer("relu1"))
+    net.add(ConvLayer("cccp2", in_maps=96, out_maps=96, kernel=1))
+    net.add(ReLULayer("relu2"))
+    net.add(PoolLayer("pool1", kernel=3, stride=2))
+
+    # block 2: 5x5 conv + two 1x1
+    net.add(ConvLayer("conv2", in_maps=96, out_maps=256, kernel=5, stride=1, pad=2))
+    net.add(ReLULayer("relu3"))
+    net.add(ConvLayer("cccp3", in_maps=256, out_maps=256, kernel=1))
+    net.add(ReLULayer("relu4"))
+    net.add(ConvLayer("cccp4", in_maps=256, out_maps=256, kernel=1))
+    net.add(ReLULayer("relu5"))
+    net.add(PoolLayer("pool2", kernel=3, stride=2))
+
+    # block 3: 3x3 conv + two 1x1
+    net.add(ConvLayer("conv3", in_maps=256, out_maps=384, kernel=3, stride=1, pad=1))
+    net.add(ReLULayer("relu6"))
+    net.add(ConvLayer("cccp5", in_maps=384, out_maps=384, kernel=1))
+    net.add(ReLULayer("relu7"))
+    net.add(ConvLayer("cccp6", in_maps=384, out_maps=384, kernel=1))
+    net.add(ReLULayer("relu8"))
+    net.add(PoolLayer("pool3", kernel=3, stride=2))
+
+    # block 4: 3x3 conv + two 1x1 (the last projects to the 1000 classes)
+    net.add(ConvLayer("conv4-1024", in_maps=384, out_maps=1024, kernel=3, stride=1, pad=1))
+    net.add(ReLULayer("relu9"))
+    net.add(ConvLayer("cccp7-1024", in_maps=1024, out_maps=1024, kernel=1))
+    net.add(ReLULayer("relu10"))
+    net.add(ConvLayer("cccp8-1024", in_maps=1024, out_maps=1000, kernel=1))
+    net.add(ReLULayer("relu11"))
+    net.add(PoolLayer("pool4", kernel=6, stride=1, mode="avg"))
+    return net

@@ -1,0 +1,72 @@
+"""VGG (Simonyan & Zisserman, 2014) — the paper's benchmark "VGG".
+
+Table 2 of the paper lists 16 convolutional layers with a single kernel type
+(3x3), which matches configuration E (VGG-19: 16 conv + 3 FC).  All convs are
+3x3 / stride 1 / pad 1, so every layer preserves its spatial extent and the
+only downsampling comes from the 2x2 max-pools.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.nn.layers import (
+    ConvLayer,
+    FCLayer,
+    PoolLayer,
+    ReLULayer,
+    TensorShape,
+)
+from repro.nn.network import Network
+
+__all__ = ["build_vgg", "VGG19_BLOCKS", "VGG16_BLOCKS"]
+
+#: (block output depth, number of 3x3 convs in the block), configuration E.
+VGG19_BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (64, 2),
+    (128, 2),
+    (256, 4),
+    (512, 4),
+    (512, 4),
+)
+
+#: configuration D (VGG-16: 13 conv layers) for users who want that variant;
+#: the paper's Table 2 row (16 conv layers, 3x3 only) matches configuration E.
+VGG16_BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (64, 2),
+    (128, 2),
+    (256, 3),
+    (512, 3),
+    (512, 3),
+)
+
+
+def build_vgg(
+    blocks: Sequence[Tuple[int, int]] = VGG19_BLOCKS,
+    include_fc: bool = True,
+) -> Network:
+    """Build a VGG-style network with a 3 x 224 x 224 input.
+
+    ``blocks`` is a sequence of ``(depth, conv_count)`` pairs; each block is
+    that many 3x3 convs followed by a 2x2/2 max-pool.
+    """
+    net = Network("vgg", TensorShape(3, 224, 224))
+    in_maps = 3
+    for block_idx, (depth, count) in enumerate(blocks, start=1):
+        for conv_idx in range(1, count + 1):
+            name = f"conv{block_idx}_{conv_idx}"
+            net.add(
+                ConvLayer(
+                    name, in_maps=in_maps, out_maps=depth, kernel=3, stride=1, pad=1
+                )
+            )
+            net.add(ReLULayer(f"relu{block_idx}_{conv_idx}"))
+            in_maps = depth
+        net.add(PoolLayer(f"pool{block_idx}", kernel=2, stride=2))
+    if include_fc:
+        net.add(FCLayer("fc6", out_features=4096))
+        net.add(ReLULayer("relu6"))
+        net.add(FCLayer("fc7", out_features=4096))
+        net.add(ReLULayer("relu7"))
+        net.add(FCLayer("fc8", out_features=1000))
+    return net

@@ -1,0 +1,204 @@
+"""Scheme interface and the schedule-result record.
+
+A *scheme* maps one convolutional layer onto the PE array and produces a
+:class:`ScheduleResult`: array compute cycles, buffer word accesses, off-chip
+traffic, and the layouts it consumes/produces.  Everything downstream
+(planners, energy model, benchmarks) works from these records.
+
+Timing model
+------------
+The array retires one operation per cycle (Table 3), so ``compute_cycles ==
+operations``.  DMA and (for the unrolling realization) the host-side reshape
+stream run concurrently with compute under double buffering, and the reshape
+pipelines with the DMA strip-by-strip, so a layer's wall-clock is
+``max(compute, dma, reshape)`` — a layer only slows down when it becomes
+memory-bound, which is exactly the paper's VGG story.  Output *stores* are
+"off the critical path" (Sec 4.2.2) and are charged to energy, not time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.arch.buffers import AccessCounter
+from repro.arch.config import AcceleratorConfig
+from repro.errors import ScheduleError
+from repro.nn.layers import ConvLayer
+from repro.nn.network import LayerContext
+from repro.tiling.fit import FitReport, analyze_fit
+from repro.tiling.layout import Layout
+
+__all__ = [
+    "ScheduleResult",
+    "Scheme",
+    "GroupGeometry",
+    "group_geometry",
+    "merge_accesses",
+]
+
+
+@dataclass(frozen=True)
+class GroupGeometry:
+    """Per-group convolution geometry shared by every scheme.
+
+    ``d`` is the effective input depth seen by one kernel (``in_maps /
+    groups`` — 48 for AlexNet's grouped conv2, which is the figure the paper
+    quotes), ``dout_g`` the output maps per group.
+    """
+
+    groups: int
+    d: int
+    dout_g: int
+    ox: int
+    oy: int
+    k: int
+    s: int
+
+    @property
+    def out_pixels(self) -> int:
+        return self.ox * self.oy
+
+    @property
+    def macs(self) -> int:
+        """Useful MACs across all groups."""
+        return self.groups * self.out_pixels * self.k * self.k * self.d * self.dout_g
+
+
+def group_geometry(ctx: LayerContext) -> GroupGeometry:
+    """Extract the per-group geometry of a conv layer context."""
+    layer = ctx.layer
+    if not isinstance(layer, ConvLayer):
+        raise ScheduleError(f"{ctx.name}: schemes schedule conv layers only")
+    return GroupGeometry(
+        groups=layer.groups,
+        d=layer.in_maps // layer.groups,
+        dout_g=layer.out_maps // layer.groups,
+        ox=ctx.out_shape.width,
+        oy=ctx.out_shape.height,
+        k=layer.kernel,
+        s=layer.stride,
+    )
+
+
+@dataclass
+class ScheduleResult:
+    """Activity record of one scheme on one layer.
+
+    All counts are totals over the whole layer (all groups).
+    """
+
+    scheme: str
+    layer_name: str
+    config: AcceleratorConfig
+    #: PE-array compute cycles (one operation per cycle)
+    operations: int
+    #: multiplies that produced a real output (<= operations * Tin * Tout)
+    useful_macs: int
+    #: extra adder ops for add-and-store accumulation (improved inter, partition)
+    extra_adds: int
+    #: per-buffer word access counters ("input"/"output"/"weight"/"bias")
+    accesses: Dict[str, AccessCounter]
+    #: off-chip words moved (compulsory + spill, including unroll inflation)
+    dram_words: int
+    #: cycles the DMA engines need for dram_words
+    dma_cycles: float
+    #: host-side data-reshape stream cycles (unrolling realization only)
+    reshape_cycles: float = 0.0
+    input_layout: Layout = Layout.INTRA
+    output_layout: Layout = Layout.INTRA
+    fit: FitReport = None  # type: ignore[assignment]
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.operations
+
+    @property
+    def stream_cycles(self) -> float:
+        """Cycles of the memory side: DMA and host reshape pipeline strip-wise."""
+        return max(self.dma_cycles, self.reshape_cycles)
+
+    @property
+    def total_cycles(self) -> float:
+        """Wall-clock cycles.
+
+        With double buffering (the default) compute and the memory streams
+        overlap; with ``config.overlap_streams = False`` they serialize —
+        the hardware the paper's tiling is designed to avoid."""
+        if self.config.overlap_streams:
+            return max(float(self.operations), self.stream_cycles)
+        return float(self.operations) + self.stream_cycles
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of multiplier-cycles doing useful MACs."""
+        peak = self.operations * self.config.multipliers
+        if peak == 0:
+            return 0.0
+        return self.useful_macs / peak
+
+    @property
+    def buffer_accesses(self) -> int:
+        """Total on-chip buffer word accesses (the Fig. 10 metric, in words)."""
+        return sum(c.total for c in self.accesses.values())
+
+    @property
+    def buffer_access_bits(self) -> int:
+        """Fig. 10's y-axis: access times weighted to bits (16-bit words)."""
+        return self.buffer_accesses * self.config.word_bytes * 8
+
+    def milliseconds(self) -> float:
+        """Wall-clock at this configuration's frequency."""
+        return self.config.cycles_to_ms(self.total_cycles)
+
+
+def merge_accesses(*counts: Dict[str, int]) -> Dict[str, AccessCounter]:
+    """Build an access dict from ``{"input_loads": n, "output_stores": m, ...}``.
+
+    Helper used by the scheme implementations; keys are
+    ``<buffer>_loads`` / ``<buffer>_stores``.
+    """
+    result: Dict[str, AccessCounter] = {
+        name: AccessCounter() for name in ("input", "output", "weight", "bias")
+    }
+    for mapping in counts:
+        for key, value in mapping.items():
+            buffer_name, _, kind = key.rpartition("_")
+            if buffer_name not in result or kind not in ("loads", "stores"):
+                raise ScheduleError(f"bad access key {key!r}")
+            if value < 0:
+                raise ScheduleError(f"negative access count for {key!r}")
+            if kind == "loads":
+                result[buffer_name].loads += value
+            else:
+                result[buffer_name].stores += value
+    return result
+
+
+class Scheme(abc.ABC):
+    """A data-level parallelization scheme (Sec. 4)."""
+
+    #: short identifier used in reports ("inter", "intra", "partition", ...)
+    name: str = "base"
+
+    @abc.abstractmethod
+    def schedule(
+        self, ctx: LayerContext, config: AcceleratorConfig
+    ) -> ScheduleResult:
+        """Map ``ctx`` onto the array; raise :class:`ScheduleError` if illegal."""
+
+    def supports(self, ctx: LayerContext, config: AcceleratorConfig) -> bool:
+        """Whether this scheme can legally schedule the layer."""
+        try:
+            self.schedule(ctx, config)
+            return True
+        except ScheduleError:
+            return False
+
+    def _fit(self, ctx: LayerContext, config: AcceleratorConfig) -> FitReport:
+        return analyze_fit(ctx, config)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<scheme {self.name}>"

@@ -1,0 +1,64 @@
+"""Ideal upper-bound schedule (the "ideal" series in Fig. 7).
+
+Assumes every multiplier is 100% utilized and data alignment is perfect, so
+the layer takes ``ceil(MACs / (Tin*Tout))`` cycles, each tensor crosses each
+interface exactly once, and no buffer space or bandwidth is wasted.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.config import AcceleratorConfig
+from repro.nn.network import LayerContext
+from repro.schemes.base import (
+    ScheduleResult,
+    Scheme,
+    group_geometry,
+    merge_accesses,
+)
+from repro.tiling.layout import Layout
+
+__all__ = ["IdealScheme"]
+
+
+class IdealScheme(Scheme):
+    """100%-utilization bound used to normalize the other schemes."""
+
+    name = "ideal"
+
+    def schedule(
+        self, ctx: LayerContext, config: AcceleratorConfig
+    ) -> ScheduleResult:
+        geom = group_geometry(ctx)
+        macs = geom.macs
+        operations = math.ceil(macs / config.multipliers)
+
+        weights = geom.groups * geom.k * geom.k * geom.d * geom.dout_g
+        accesses = merge_accesses(
+            {
+                # each word crosses its buffer exactly once, fill + use
+                "input_loads": ctx.in_shape.elements,
+                "input_stores": ctx.in_shape.elements,
+                "weight_loads": weights,
+                "weight_stores": weights,
+                "output_stores": ctx.out_shape.elements,
+                "output_loads": ctx.out_shape.elements,
+            }
+        )
+        fit = self._fit(ctx, config)
+        dram_words = fit.compulsory_words
+        return ScheduleResult(
+            scheme=self.name,
+            layer_name=ctx.name,
+            config=config,
+            operations=operations,
+            useful_macs=macs,
+            extra_adds=0,
+            accesses=accesses,
+            dram_words=dram_words,
+            dma_cycles=dram_words / config.dram_words_per_cycle,
+            input_layout=Layout.INTRA,
+            output_layout=Layout.INTRA,
+            fit=fit,
+        )

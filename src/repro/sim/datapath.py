@@ -1,0 +1,168 @@
+"""Bit-exact integer datapath simulation of the 16-bit PE.
+
+The floating-point equivalence tests in :mod:`repro.sim.functional` show the
+schemes compute the same *real* function; this module goes one level lower
+and executes convolution on the integer datapath the paper's PE actually
+has — 16-bit fixed-point operands, full-width products, a wide accumulator,
+and a single saturating round back to 16 bits at the output.
+
+Because integer addition is associative, the kernel-partitioned (Algorithm
+1) and improved-inter accumulation orders are **bit-identical** to the
+direct order on this datapath — no tolerance needed — which is the hardware
+form of the paper's Fig. 5(d) claim.  Tests assert exact equality of the
+output codes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.fixedpoint import Q7_8, FixedPointFormat
+from repro.errors import ShapeError
+from repro.nn.layers import conv_output_hw
+from repro.tiling.partition import (
+    pad_data_for_partition,
+    partition_geometry,
+    partition_weights,
+)
+from repro.tiling.unroll import pad_input
+
+__all__ = [
+    "saturate",
+    "requantize",
+    "conv_codes_direct",
+    "conv_codes_partitioned",
+    "conv_codes_inter_improved",
+]
+
+
+def saturate(codes: np.ndarray, fmt: FixedPointFormat = Q7_8) -> np.ndarray:
+    """Clamp integer codes into the format's representable range."""
+    return np.clip(codes, fmt.min_int, fmt.max_int)
+
+
+def requantize(
+    accumulator: np.ndarray, fmt: FixedPointFormat = Q7_8
+) -> np.ndarray:
+    """Round a wide product-sum accumulator back to output codes.
+
+    Products of two Qm.n codes carry ``2n`` fraction bits; the output stage
+    shifts right by ``n`` with round-half-away (matching :func:`np.rint` on
+    the equivalent real value) and saturates.
+    """
+    acc = np.asarray(accumulator, dtype=np.int64)
+    half = 1 << (fmt.frac_bits - 1) if fmt.frac_bits else 0
+    shifted = np.where(
+        acc >= 0,
+        (acc + half) >> fmt.frac_bits,
+        -((-acc + half) >> fmt.frac_bits),
+    )
+    return saturate(shifted, fmt)
+
+
+def _check(data_codes: np.ndarray, weight_codes: np.ndarray) -> None:
+    if data_codes.ndim != 3 or weight_codes.ndim != 4:
+        raise ShapeError("expected (D,H,W) data codes and (O,D,k,k) weight codes")
+    if data_codes.shape[0] != weight_codes.shape[1]:
+        raise ShapeError("depth mismatch between data and weights")
+    if weight_codes.shape[-1] != weight_codes.shape[-2]:
+        raise ShapeError("kernel must be square")
+
+
+def conv_codes_direct(
+    data_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    bias_codes: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    fmt: FixedPointFormat = Q7_8,
+) -> np.ndarray:
+    """Reference integer convolution: direct window order, wide accumulator."""
+    _check(data_codes, weight_codes)
+    k = weight_codes.shape[-1]
+    padded = pad_input(data_codes.astype(np.int64), pad)
+    _, h, w = padded.shape
+    oh = conv_output_hw(h, k, stride, 0)
+    ow = conv_output_hw(w, k, stride, 0)
+    dout = weight_codes.shape[0]
+    acc = np.zeros((dout, oh, ow), dtype=np.int64)
+    wc = weight_codes.astype(np.int64)
+    for oy in range(oh):
+        iy = oy * stride
+        for ox in range(ow):
+            ix = ox * stride
+            patch = padded[:, iy : iy + k, ix : ix + k]
+            acc[:, oy, ox] = np.einsum("dhw,odhw->o", patch, wc)
+    if bias_codes is not None:
+        # bias is a Qm.n code; align it to the 2n-fraction accumulator
+        acc += bias_codes.astype(np.int64)[:, None, None] << fmt.frac_bits
+    return requantize(acc, fmt)
+
+
+def conv_codes_partitioned(
+    data_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    bias_codes: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    fmt: FixedPointFormat = Q7_8,
+) -> np.ndarray:
+    """Integer convolution in Algorithm 1's order (partition, accumulate)."""
+    _check(data_codes, weight_codes)
+    k = weight_codes.shape[-1]
+    if stride >= k:
+        return conv_codes_direct(data_codes, weight_codes, bias_codes, stride, pad, fmt)
+    geom = partition_geometry(k, stride)
+    ks, g = geom.sub_kernel, geom.groups_per_side
+    padded = pad_data_for_partition(data_codes.astype(np.int64), k, stride, pad)
+    sub = partition_weights(weight_codes.astype(np.int64), stride)
+    oh = conv_output_hw(data_codes.shape[1] + 2 * pad, k, stride, 0)
+    ow = conv_output_hw(data_codes.shape[2] + 2 * pad, k, stride, 0)
+    dout = weight_codes.shape[0]
+    # the "output buffer" running sum of Algorithm 1, kept at accumulator width
+    acc = np.zeros((dout, oh, ow), dtype=np.int64)
+    for piece in range(geom.pieces):
+        i, j = divmod(piece, g)
+        for oy in range(oh):
+            iy = oy * stride + i * ks
+            for ox in range(ow):
+                ix = ox * stride + j * ks
+                window = padded[:, iy : iy + ks, ix : ix + ks]
+                acc[:, oy, ox] += np.einsum(
+                    "dhw,odhw->o", window, sub[:, :, piece]
+                )
+    if bias_codes is not None:
+        acc += bias_codes.astype(np.int64)[:, None, None] << fmt.frac_bits
+    return requantize(acc, fmt)
+
+
+def conv_codes_inter_improved(
+    data_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    bias_codes: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    fmt: FixedPointFormat = Q7_8,
+) -> np.ndarray:
+    """Integer convolution in the Sec 4.2.2 partial-sum order."""
+    _check(data_codes, weight_codes)
+    k = weight_codes.shape[-1]
+    padded = pad_input(data_codes.astype(np.int64), pad)
+    oh = conv_output_hw(padded.shape[1], k, stride, 0)
+    ow = conv_output_hw(padded.shape[2], k, stride, 0)
+    dout = weight_codes.shape[0]
+    acc = np.zeros((dout, oh, ow), dtype=np.int64)
+    wc = weight_codes.astype(np.int64)
+    for u in range(k):
+        for v in range(k):
+            view = padded[
+                :,
+                u : u + (oh - 1) * stride + 1 : stride,
+                v : v + (ow - 1) * stride + 1 : stride,
+            ]
+            acc += np.einsum("dhw,od->ohw", view, wc[:, :, u, v])
+    if bias_codes is not None:
+        acc += bias_codes.astype(np.int64)[:, None, None] << fmt.frac_bits
+    return requantize(acc, fmt)

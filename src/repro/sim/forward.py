@@ -1,0 +1,214 @@
+"""Whole-network forward propagation over the layer DAG.
+
+Executes a :class:`~repro.nn.network.Network` numerically, with the conv
+layers computed either by the reference convolution or by a chosen scheme's
+loop nest (:mod:`repro.sim.functional`) — so integration tests can run a
+full AlexNet-shaped forward pass under kernel-partitioning and compare
+against the reference end to end.
+
+Weights are synthetic (the paper's cycle/energy results are data-independent;
+numerical equivalence is what matters — see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.layers import (
+    ConcatLayer,
+    ConvLayer,
+    EltwiseAddLayer,
+    FCLayer,
+    Layer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+)
+from repro.nn.network import Network
+from repro.sim.functional import (
+    conv_via_im2col,
+    conv_via_inter_improved,
+    conv_via_partition,
+    reference_conv,
+)
+from repro.tiling.unroll import pad_input
+
+__all__ = [
+    "init_weights",
+    "forward",
+    "pool_forward",
+    "lrn_forward",
+    "CONV_EXECUTORS",
+]
+
+ConvExecutor = Callable[..., np.ndarray]
+
+CONV_EXECUTORS: Dict[str, ConvExecutor] = {
+    "reference": reference_conv,
+    "intra": conv_via_im2col,
+    "partition": conv_via_partition,
+    "inter-improved": conv_via_inter_improved,
+    # the original inter-kernel order accumulates the same products in a
+    # different sequence; numerically it coincides with the reference order
+    "inter": reference_conv,
+}
+
+
+def init_weights(net: Network, seed: int = 0, scale: float = 0.1) -> Dict[str, dict]:
+    """Deterministic synthetic parameters for every weighted layer."""
+    rng = np.random.default_rng(seed)
+    params: Dict[str, dict] = {}
+    for ctx in net.contexts():
+        layer = ctx.layer
+        if isinstance(layer, ConvLayer):
+            w = rng.standard_normal(
+                (
+                    layer.out_maps,
+                    layer.in_maps // layer.groups,
+                    layer.kernel,
+                    layer.kernel,
+                )
+            ) * scale
+            b = rng.standard_normal(layer.out_maps) * scale if layer.bias else None
+            params[layer.name] = {"weights": w, "bias": b}
+        elif isinstance(layer, FCLayer):
+            w = rng.standard_normal(
+                (layer.out_features, ctx.in_shape.elements)
+            ) * scale
+            b = (
+                rng.standard_normal(layer.out_features) * scale
+                if layer.bias
+                else None
+            )
+            params[layer.name] = {"weights": w, "bias": b}
+    return params
+
+
+def pool_forward(layer: PoolLayer, data: np.ndarray) -> np.ndarray:
+    """Max/avg pooling with optional Caffe-style ceil mode."""
+    padded = pad_input(data, layer.pad)
+    d, h, w = padded.shape
+    if layer.ceil_mode:
+        import math
+
+        oh = math.ceil((h - layer.kernel) / layer.stride) + 1
+        ow = math.ceil((w - layer.kernel) / layer.stride) + 1
+        # ceil mode may start a window that runs past the edge: extend with
+        # the neutral element (-inf for max, 0 for avg handled via counts)
+        need_h = (oh - 1) * layer.stride + layer.kernel
+        need_w = (ow - 1) * layer.stride + layer.kernel
+        if need_h > h or need_w > w:
+            fill = -np.inf if layer.mode == "max" else 0.0
+            ext = np.full((d, max(need_h, h), max(need_w, w)), fill)
+            ext[:, :h, :w] = padded
+            padded = ext
+    else:
+        oh = (h - layer.kernel) // layer.stride + 1
+        ow = (w - layer.kernel) // layer.stride + 1
+    out = np.empty((d, oh, ow), dtype=padded.dtype)
+    for oy in range(oh):
+        iy = oy * layer.stride
+        for ox in range(ow):
+            ix = ox * layer.stride
+            window = padded[:, iy : iy + layer.kernel, ix : ix + layer.kernel]
+            if layer.mode == "max":
+                out[:, oy, ox] = window.max(axis=(1, 2))
+            else:
+                out[:, oy, ox] = window.mean(axis=(1, 2))
+    return out
+
+
+def lrn_forward(layer: LRNLayer, data: np.ndarray) -> np.ndarray:
+    """Across-channel local response normalization (AlexNet formula)."""
+    d = data.shape[0]
+    half = layer.local_size // 2
+    sq = data ** 2
+    out = np.empty_like(data)
+    for c in range(d):
+        lo, hi = max(0, c - half), min(d, c + half + 1)
+        denom = (1.0 + (layer.alpha / layer.local_size) * sq[lo:hi].sum(axis=0)) ** layer.beta
+        out[c] = data[c] / denom
+    return out
+
+
+def _apply_layer(
+    layer: Layer,
+    inputs,
+    params: Dict[str, dict],
+    conv_executor: ConvExecutor,
+) -> np.ndarray:
+    if isinstance(layer, ConvLayer):
+        p = params[layer.name]
+        return conv_executor(
+            inputs[0],
+            p["weights"],
+            p["bias"],
+            layer.stride,
+            layer.pad,
+            layer.groups,
+        )
+    if isinstance(layer, PoolLayer):
+        return pool_forward(layer, inputs[0])
+    if isinstance(layer, ReLULayer):
+        return np.maximum(inputs[0], 0.0)
+    if isinstance(layer, LRNLayer):
+        return lrn_forward(layer, inputs[0])
+    if isinstance(layer, ConcatLayer):
+        return np.concatenate(inputs, axis=0)
+    if isinstance(layer, EltwiseAddLayer):
+        total = inputs[0]
+        for branch in inputs[1:]:
+            total = total + branch
+        return total
+    if isinstance(layer, FCLayer):
+        p = params[layer.name]
+        flat = inputs[0].reshape(-1)
+        out = p["weights"] @ flat
+        if p["bias"] is not None:
+            out = out + p["bias"]
+        return out.reshape(layer.out_features, 1, 1)
+    raise ConfigError(f"no executor for layer type {type(layer).__name__}")
+
+
+def forward(
+    net: Network,
+    image: np.ndarray,
+    params: Optional[Dict[str, dict]] = None,
+    conv_scheme: str = "reference",
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Run inference; returns every layer's activation keyed by layer name.
+
+    ``conv_scheme`` selects the loop nest used for conv layers — running the
+    same network under ``"reference"`` and ``"partition"`` and comparing
+    activations is the end-to-end version of the Fig. 5(d) equivalence.
+    """
+    if image.shape != net.input_shape.as_tuple():
+        raise ShapeError(
+            f"image shape {image.shape} != network input "
+            f"{net.input_shape.as_tuple()}"
+        )
+    try:
+        executor = CONV_EXECUTORS[conv_scheme]
+    except KeyError:
+        raise ConfigError(
+            f"unknown conv scheme {conv_scheme!r}; choose from "
+            f"{sorted(CONV_EXECUTORS)}"
+        ) from None
+    if params is None:
+        params = init_weights(net, seed=seed)
+    activations: Dict[str, np.ndarray] = {"__input__": image}
+    for layer in net:
+        inputs = [activations[src] for src in net.input_names(layer.name)]
+        result = _apply_layer(layer, inputs, params, executor)
+        expected = net.shape_of(layer.name).as_tuple()
+        if result.shape != expected:
+            raise ShapeError(
+                f"{layer.name}: executor produced {result.shape}, "
+                f"shape inference said {expected}"
+            )
+        activations[layer.name] = result
+    return activations

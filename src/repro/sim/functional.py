@@ -1,0 +1,266 @@
+"""Functional (numerical) execution of every scheme's loop nest.
+
+The paper's central correctness claim is Fig. 5(d): kernel-partitioning's
+``g*g`` partial output maps sum to *exactly* the direct convolution.  This
+module executes each scheme's data path with numpy and lets the test suite
+assert bit-identical results against a reference convolution — for the
+partitioned order (Algorithm 1), the improved inter-kernel partial-sum order
+(Sec 4.2.2), and the unrolled (im2col) intra-kernel order.
+
+All functions take planar ``(Din, H, W)`` activations and
+``(Dout, Din/groups, k, k)`` weights, mirroring
+:class:`~repro.nn.layers.ConvLayer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import ConvLayer, TensorShape, conv_output_hw
+from repro.tiling.partition import (
+    pad_data_for_partition,
+    partition_geometry,
+    partition_weights,
+)
+from repro.tiling.unroll import im2col, pad_input
+
+__all__ = [
+    "reference_conv",
+    "conv_via_im2col",
+    "conv_via_partition",
+    "conv_via_inter_improved",
+    "partition_partial_maps",
+    "random_conv_tensors",
+]
+
+
+def _check_conv_args(
+    data: np.ndarray, weights: np.ndarray, stride: int, pad: int, groups: int
+) -> None:
+    if data.ndim != 3:
+        raise ShapeError(f"data must be (Din, H, W), got {data.shape}")
+    if weights.ndim != 4:
+        raise ShapeError(f"weights must be (Dout, Din/g, k, k), got {weights.shape}")
+    dout, din_g, k1, k2 = weights.shape
+    if k1 != k2:
+        raise ShapeError(f"kernel must be square, got {k1}x{k2}")
+    if data.shape[0] % groups or dout % groups:
+        raise ShapeError("groups must divide Din and Dout")
+    if data.shape[0] // groups != din_g:
+        raise ShapeError(
+            f"weights expect {din_g} maps per group, data has "
+            f"{data.shape[0] // groups}"
+        )
+    if stride <= 0 or pad < 0:
+        raise ShapeError("stride must be positive and pad non-negative")
+
+
+def reference_conv(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Direct convolution — the golden reference for every scheme.
+
+    Computed in float64 (or the input dtype if integer) with the canonical
+    sliding-window order.
+    """
+    _check_conv_args(data, weights, stride, pad, groups)
+    dout = weights.shape[0]
+    k = weights.shape[-1]
+    padded = pad_input(data, pad)
+    din, h, w = padded.shape
+    oh = conv_output_hw(h, k, stride, 0)
+    ow = conv_output_hw(w, k, stride, 0)
+    out = np.zeros((dout, oh, ow), dtype=np.result_type(data, weights))
+    din_g = din // groups
+    dout_g = dout // groups
+    for g in range(groups):
+        dslice = padded[g * din_g : (g + 1) * din_g]
+        for oc in range(g * dout_g, (g + 1) * dout_g):
+            kern = weights[oc]
+            for oy in range(oh):
+                iy = oy * stride
+                for ox in range(ow):
+                    ix = ox * stride
+                    patch = dslice[:, iy : iy + k, ix : ix + k]
+                    out[oc, oy, ox] = np.sum(patch * kern)
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def conv_via_im2col(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Convolution executed as the intra-kernel unrolling scheme: im2col + GEMM."""
+    _check_conv_args(data, weights, stride, pad, groups)
+    dout = weights.shape[0]
+    k = weights.shape[-1]
+    din = data.shape[0]
+    din_g = din // groups
+    dout_g = dout // groups
+    oh = conv_output_hw(data.shape[1] + 2 * pad, k, stride, 0)
+    ow = conv_output_hw(data.shape[2] + 2 * pad, k, stride, 0)
+    out = np.zeros((dout, oh, ow), dtype=np.result_type(data, weights))
+    for g in range(groups):
+        dslice = data[g * din_g : (g + 1) * din_g]
+        cols = im2col(dslice, k, stride, pad)  # (oh*ow, din_g*k*k)
+        wmat = weights[g * dout_g : (g + 1) * dout_g].reshape(dout_g, -1)
+        prod = cols @ wmat.T  # (oh*ow, dout_g)
+        out[g * dout_g : (g + 1) * dout_g] = prod.T.reshape(dout_g, oh, ow)
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def partition_partial_maps(
+    data: np.ndarray,
+    weights: np.ndarray,
+    stride: int,
+    pad: int = 0,
+) -> np.ndarray:
+    """The ``g*g`` partial output maps of Fig. 5(d) (single group).
+
+    Returns an array of shape ``(G, Dout, oh, ow)``; summing over axis 0
+    reproduces the direct convolution.  Exposed separately so tests can
+    check the *intermediate* structure the paper draws, not just the sum.
+    """
+    k = weights.shape[-1]
+    geom = partition_geometry(k, stride)
+    ks = geom.sub_kernel
+    g = geom.groups_per_side
+    padded = pad_data_for_partition(data, k, stride, pad)
+    sub = partition_weights(weights, stride)  # (Dout, Din, G, ks, ks)
+    dout = weights.shape[0]
+    base_h = data.shape[1] + 2 * pad
+    base_w = data.shape[2] + 2 * pad
+    oh = conv_output_hw(base_h, k, stride, 0)
+    ow = conv_output_hw(base_w, k, stride, 0)
+    partials = np.zeros(
+        (geom.pieces, dout, oh, ow), dtype=np.result_type(data, weights)
+    )
+    for piece in range(geom.pieces):
+        i, j = divmod(piece, g)
+        oy0, ox0 = i * ks, j * ks
+        # sub-kernel scan: stride == window size, windows never overlap
+        for oy in range(oh):
+            iy = oy * stride + oy0
+            for ox in range(ow):
+                ix = ox * stride + ox0
+                window = padded[:, iy : iy + ks, ix : ix + ks]
+                # one PE operation per (output map chunk): window x sub-kernel
+                partials[piece, :, oy, ox] = np.einsum(
+                    "dhw,odhw->o", window, sub[:, :, piece]
+                )
+    return partials
+
+
+def conv_via_partition(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Convolution executed by Algorithm 1 (kernel partitioning).
+
+    Follows the paper's accumulation order: piece 1's result is stored, each
+    later piece's MAC results are added onto the running sum (lines 7-8).
+    Layers with ``stride >= kernel`` cannot be partitioned (windows already
+    do not overlap); they execute in the plain sliding-window order, the
+    same fallback the planner applies.
+    """
+    _check_conv_args(data, weights, stride, pad, groups)
+    if stride >= weights.shape[-1]:
+        return reference_conv(data, weights, bias, stride, pad, groups)
+    din = data.shape[0]
+    dout = weights.shape[0]
+    din_g = din // groups
+    dout_g = dout // groups
+    pieces_out = []
+    for g in range(groups):
+        dslice = data[g * din_g : (g + 1) * din_g]
+        wslice = weights[g * dout_g : (g + 1) * dout_g]
+        partials = partition_partial_maps(dslice, wslice, stride, pad)
+        # Algorithm 1: accumulate r_{i/G} onto r_{(i-1)/G} in the output buffer
+        acc = partials[0].copy()
+        for piece in range(1, partials.shape[0]):
+            acc += partials[piece]
+        pieces_out.append(acc)
+    out = np.concatenate(pieces_out, axis=0)
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def conv_via_inter_improved(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Convolution in the improved inter-kernel order (Sec 4.2.2).
+
+    Outer loop over kernel elements ``(u, v)``; for each element the
+    1/(k*k) partial sums of *all* output pixels and maps are add-and-stored
+    onto the output buffer before the next element is visited.
+    """
+    _check_conv_args(data, weights, stride, pad, groups)
+    din = data.shape[0]
+    dout = weights.shape[0]
+    k = weights.shape[-1]
+    din_g = din // groups
+    dout_g = dout // groups
+    padded = pad_input(data, pad)
+    oh = conv_output_hw(padded.shape[1], k, stride, 0)
+    ow = conv_output_hw(padded.shape[2], k, stride, 0)
+    out = np.zeros((dout, oh, ow), dtype=np.result_type(data, weights))
+    for u in range(k):
+        for v in range(k):
+            # strided view of the input pixels this kernel element touches
+            view = padded[
+                :,
+                u : u + (oh - 1) * stride + 1 : stride,
+                v : v + (ow - 1) * stride + 1 : stride,
+            ]
+            for g in range(groups):
+                dslice = view[g * din_g : (g + 1) * din_g]
+                wvec = weights[g * dout_g : (g + 1) * dout_g, :, u, v]
+                # add-and-store: accumulate the partial sums into "the buffer"
+                out[g * dout_g : (g + 1) * dout_g] += np.einsum(
+                    "dhw,od->ohw", dslice, wvec
+                )
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def random_conv_tensors(
+    layer: ConvLayer,
+    in_shape: TensorShape,
+    seed: int = 0,
+    scale: float = 1.0,
+):
+    """Deterministic random (data, weights, bias) for a conv layer."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(in_shape.as_tuple()) * scale
+    weights = rng.standard_normal(
+        (layer.out_maps, layer.in_maps // layer.groups, layer.kernel, layer.kernel)
+    ) * scale
+    bias = rng.standard_normal(layer.out_maps) * scale if layer.bias else None
+    return data, weights, bias

@@ -1,0 +1,194 @@
+"""Loop-nest enumeration: the schedules, one array cycle at a time.
+
+The analytical schemes (:mod:`repro.schemes`) compute operation counts in
+closed form; the machine (:mod:`repro.sim.machine`) replays those counts.
+This module provides the third, fully independent derivation: generators
+that *enumerate* each scheme's loop nest micro-operation by
+micro-operation — every yielded :class:`MicroOp` is one clock of the PE
+array, carrying exactly which input positions and weight entries it
+consumes and how many useful MACs it performs.
+
+Tests assert, for small layers, that
+
+* the number of yielded ops equals the closed-form ``operations``;
+* the summed ``useful_macs`` equals the layer's MAC count (for the
+  partitioned nest this exercises the zero-pad accounting non-trivially);
+* no op exceeds the array's physical limits (``Tin`` data words,
+  ``Tin*Tout`` weights, ``Tin*Tout`` MACs);
+* the union of touched input positions is exactly the layer's receptive
+  coverage.
+
+Enumeration is O(operations) Python, so it is only for test-sized layers —
+which is the point: it validates the formulas the fast paths rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.arch.config import AcceleratorConfig
+from repro.errors import ScheduleError
+from repro.nn.network import LayerContext
+from repro.schemes.base import group_geometry
+from repro.tiling.partition import partition_geometry
+
+__all__ = ["MicroOp", "enumerate_inter", "enumerate_intra", "enumerate_partition"]
+
+#: an input position: (map index, row, col) in the padded input frame
+Position = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One PE-array cycle of a schedule."""
+
+    #: input positions consumed this cycle (<= Tin)
+    data: FrozenSet[Position]
+    #: number of weight entries consumed this cycle (<= Tin * Tout)
+    weight_count: int
+    #: multiplies contributing to a real output this cycle
+    useful_macs: int
+
+
+def _chunks(total: int, size: int) -> List[range]:
+    return [range(lo, min(lo + size, total)) for lo in range(0, total, size)]
+
+
+def enumerate_inter(
+    ctx: LayerContext, config: AcceleratorConfig
+) -> Iterator[MicroOp]:
+    """The inter-kernel loop nest (depth-parallel, accumulate in PE)."""
+    geom = group_geometry(ctx)
+    for group in range(geom.groups):
+        base_map = group * geom.d
+        for oc_chunk in _chunks(geom.dout_g, config.tout):
+            for oy in range(geom.oy):
+                for ox in range(geom.ox):
+                    for u in range(geom.k):
+                        for v in range(geom.k):
+                            for d_chunk in _chunks(geom.d, config.tin):
+                                data = frozenset(
+                                    (base_map + c, oy * geom.s + u, ox * geom.s + v)
+                                    for c in d_chunk
+                                )
+                                lanes = len(oc_chunk)
+                                yield MicroOp(
+                                    data=data,
+                                    weight_count=len(d_chunk) * lanes,
+                                    useful_macs=len(d_chunk) * lanes,
+                                )
+
+
+def enumerate_intra(
+    ctx: LayerContext, config: AcceleratorConfig
+) -> Iterator[MicroOp]:
+    """The intra-kernel loop nest (receptive-field slices, weight resident)."""
+    geom = group_geometry(ctx)
+    field = [
+        (c, u, v)
+        for c in range(geom.d)
+        for u in range(geom.k)
+        for v in range(geom.k)
+    ]
+    for group in range(geom.groups):
+        base_map = group * geom.d
+        for oc_chunk in _chunks(geom.dout_g, config.tout):
+            for f_chunk in _chunks(len(field), config.tin):
+                for oy in range(geom.oy):
+                    for ox in range(geom.ox):
+                        data = frozenset(
+                            (
+                                base_map + field[i][0],
+                                oy * geom.s + field[i][1],
+                                ox * geom.s + field[i][2],
+                            )
+                            for i in f_chunk
+                        )
+                        lanes = len(oc_chunk)
+                        yield MicroOp(
+                            data=data,
+                            weight_count=len(f_chunk) * lanes,
+                            useful_macs=len(f_chunk) * lanes,
+                        )
+
+
+def enumerate_partition(
+    ctx: LayerContext, config: AcceleratorConfig
+) -> Iterator[MicroOp]:
+    """Algorithm 1's loop nest: pieces x maps x window scans.
+
+    Multiplies against partition zero padding consume an array slot but are
+    not useful MACs — summing ``useful_macs`` over the nest must still give
+    exactly the layer's MAC count.
+    """
+    geom = group_geometry(ctx)
+    if geom.s >= geom.k:
+        raise ScheduleError("partition needs stride < kernel")
+    pgeom = partition_geometry(geom.k, geom.s)
+    ks, g = pgeom.sub_kernel, pgeom.groups_per_side
+    window = ks * ks
+    out_pixels = [(oy, ox) for oy in range(geom.oy) for ox in range(geom.ox)]
+
+    def window_positions(piece: int, oy: int, ox: int):
+        """(position, is_real_weight) pairs of one sub-window."""
+        pi, pj = divmod(piece, g)
+        for wy in range(ks):
+            for wx in range(ks):
+                ky, kx = pi * ks + wy, pj * ks + wx
+                real = ky < geom.k and kx < geom.k
+                pos = (oy * geom.s + pi * ks + wy, ox * geom.s + pj * ks + wx)
+                yield pos, real
+
+    for group in range(geom.groups):
+        base_map = group * geom.d
+        for piece in range(pgeom.pieces):
+            for m in range(geom.d):
+                for oc_chunk in _chunks(geom.dout_g, config.tout):
+                    lanes = len(oc_chunk)
+                    if window <= config.tin:
+                        wpo = config.tin // window
+                        for px_chunk in _chunks(len(out_pixels), wpo):
+                            data = set()
+                            real_weights = 0
+                            for i in px_chunk:
+                                oy, ox = out_pixels[i]
+                                for pos, real in window_positions(piece, oy, ox):
+                                    data.add((base_map + m, pos[0], pos[1]))
+                                    if real:
+                                        real_weights += 1
+                            yield MicroOp(
+                                data=frozenset(data),
+                                weight_count=window * lanes,
+                                useful_macs=real_weights * lanes,
+                            )
+                    else:
+                        ops_per_window = math.ceil(window / config.tin)
+                        for oy, ox in out_pixels:
+                            entries = list(window_positions(piece, oy, ox))
+                            for w_chunk in _chunks(len(entries), config.tin):
+                                data = frozenset(
+                                    (base_map + m,) + entries[i][0]
+                                    for i in w_chunk
+                                )
+                                real = sum(1 for i in w_chunk if entries[i][1])
+                                yield MicroOp(
+                                    data=data,
+                                    weight_count=len(w_chunk) * lanes,
+                                    useful_macs=real * lanes,
+                                )
+                            assert len(_chunks(len(entries), config.tin)) == ops_per_window
+
+
+def touched_input_positions(ctx: LayerContext) -> FrozenSet[Position]:
+    """All padded-frame input positions any window of the layer reads."""
+    geom = group_geometry(ctx)
+    touched = set()
+    for m in range(ctx.layer.in_maps):
+        for oy in range(geom.oy):
+            for ox in range(geom.ox):
+                for u in range(geom.k):
+                    for v in range(geom.k):
+                        touched.add((m, oy * geom.s + u, ox * geom.s + v))
+    return frozenset(touched)

@@ -1,0 +1,168 @@
+"""The machine: executes macro instruction programs and tallies activity.
+
+This is the interpreter for :mod:`repro.isa` programs — the Python stand-in
+for the paper's VCS simulation of the Verilog accelerator.  It walks the
+instruction stream, feeding the :class:`~repro.arch.pe.PEArray` and
+:class:`~repro.arch.buffers.BufferSet` models, and reports wall-clock cycles
+under the same overlap rule as the analytical schedules: within each SYNC
+region, compute and the memory streams (DMA, host reshape) run concurrently
+and the region takes the maximum of the two.
+
+The cross-check test (``tests/integration``) asserts that executing a
+compiled network program reproduces the planner's analytical totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.arch.buffers import AccessCounter, BufferSet
+from repro.arch.config import AcceleratorConfig
+from repro.arch.energy import EnergyBreakdown, EnergyModel
+from repro.arch.pe import PEArray
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, Opcode, Program
+
+__all__ = ["Machine", "MachineResult", "RegionStats"]
+
+
+@dataclass
+class RegionStats:
+    """Activity between two SYNC barriers (one layer, typically)."""
+
+    compute_cycles: int = 0
+    dma_words: int = 0
+    host_cycles: int = 0
+
+    def wall_clock(self, config: AcceleratorConfig) -> float:
+        dma_cycles = self.dma_words / config.dram_words_per_cycle
+        stream = max(dma_cycles, float(self.host_cycles))
+        if config.overlap_streams:
+            return max(float(self.compute_cycles), stream)
+        return float(self.compute_cycles) + stream
+
+
+@dataclass
+class MachineResult:
+    """Outcome of executing one program."""
+
+    program_name: str
+    config: AcceleratorConfig
+    total_cycles: float
+    compute_cycles: int
+    useful_macs: int
+    extra_adds: int
+    dram_words: int
+    accesses: Dict[str, AccessCounter]
+    regions: List[RegionStats] = field(default_factory=list)
+    instructions_executed: int = 0
+
+    @property
+    def buffer_accesses(self) -> int:
+        return sum(c.total for c in self.accesses.values())
+
+    @property
+    def utilization(self) -> float:
+        peak = self.compute_cycles * self.config.multipliers
+        return self.useful_macs / peak if peak else 0.0
+
+    def energy(self, model: EnergyModel = None) -> EnergyBreakdown:
+        """Energy under the same conventions as NetworkRun.energy()."""
+        if model is None:
+            model = EnergyModel(self.config)
+        return model.breakdown(
+            operations=int(round(self.total_cycles)),
+            accesses=self.accesses,
+            dram_words=self.dram_words,
+            extra_adds=self.extra_adds,
+        )
+
+    def milliseconds(self) -> float:
+        return self.config.cycles_to_ms(self.total_cycles)
+
+
+class Machine:
+    """Interpreter for macro instruction programs."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.pe = PEArray(config)
+        self.buffers = BufferSet.from_config(config)
+
+    def reset(self) -> None:
+        self.pe.reset()
+        self.buffers.reset()
+
+    def execute(self, program: Program) -> MachineResult:
+        """Run ``program`` to completion and return its activity totals."""
+        self.reset()
+        regions: List[RegionStats] = []
+        current = RegionStats()
+        total_wall = 0.0
+        dram_words = 0
+        extra_adds = 0
+        executed = 0
+
+        for inst in program:
+            executed += 1
+            self._dispatch(inst, current)
+            if inst.opcode is Opcode.ACCUMULATE:
+                extra_adds += inst.operations
+            if inst.is_dma:
+                dram_words += inst.words
+            if inst.opcode is Opcode.SYNC:
+                total_wall += current.wall_clock(self.config)
+                regions.append(current)
+                current = RegionStats()
+
+        # an unterminated trailing region still contributes
+        if current.compute_cycles or current.dma_words or current.host_cycles:
+            total_wall += current.wall_clock(self.config)
+            regions.append(current)
+
+        return MachineResult(
+            program_name=program.name,
+            config=self.config,
+            total_cycles=total_wall,
+            compute_cycles=self.pe.tally.operations,
+            useful_macs=self.pe.tally.useful_macs,
+            extra_adds=extra_adds,
+            dram_words=dram_words,
+            accesses=self.buffers.totals(),
+            regions=regions,
+            instructions_executed=executed,
+        )
+
+    def _dispatch(self, inst: Instruction, region: RegionStats) -> None:
+        op = inst.opcode
+        if op is Opcode.COMPUTE:
+            self.pe.issue(inst.operations, inst.macs)
+            region.compute_cycles += inst.operations
+            return
+        if op is Opcode.ACCUMULATE:
+            # runs on the dedicated adder group, off the critical path
+            return
+        if op is Opcode.HOST_RESHAPE:
+            region.host_cycles += inst.words
+            return
+        if op is Opcode.SYNC:
+            return
+        fill = inst.dma_fill_target
+        if fill is not None:
+            getattr(self.buffers, fill).store(inst.words)
+            region.dma_words += inst.words
+            return
+        if op is Opcode.DMA_STORE_OUTPUT:
+            self.buffers.output.load(inst.words)
+            region.dma_words += inst.words
+            return
+        target = inst.buffer_target
+        if target is not None:
+            buffer = getattr(self.buffers, target)
+            if inst.buffer_kind == "loads":
+                buffer.load(inst.words)
+            else:
+                buffer.store(inst.words)
+            return
+        raise SimulationError(f"machine cannot execute opcode {op!r}")

@@ -1,0 +1,172 @@
+"""External-memory layout: where every tensor lives in DRAM.
+
+The compiler so far moves *counts* of words; a real control unit needs
+*addresses*.  This module allocates the external memory map for a planned
+network run:
+
+* every conv layer's weight (and bias) tensor gets a static region;
+* activations get regions in the layout the plan assigned (inter-order or
+  intra-order), and — since layer ``i``'s input is dead once layer ``i+1``
+  has consumed it — activation regions are double-buffered: layers
+  alternate between two arenas sized by the largest producer/consumer pair
+  (classic ping-pong allocation), instead of summing every activation.
+
+The allocator checks its own invariants (alignment, no overlap, arena
+sufficiency) and the tests re-check them independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.nn.layers import ConvLayer
+from repro.nn.network import Network
+from repro.sim.trace import NetworkRun
+from repro.tiling.layout import Layout
+
+__all__ = ["Region", "MemoryMap", "allocate_memory_map"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One allocated tensor region (word addresses, half-open)."""
+
+    name: str
+    kind: str  # "weights" | "activation" | "input"
+    base: int
+    words: int
+    layout: Layout
+
+    @property
+    def end(self) -> int:
+        return self.base + self.words
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass
+class MemoryMap:
+    """The allocated external-memory plan."""
+
+    regions: List[Region]
+    total_words: int
+    arena_words: int
+
+    def region(self, name: str) -> Region:
+        for r in self.regions:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def static_regions(self) -> List[Region]:
+        return [r for r in self.regions if r.kind == "weights"]
+
+    def activation_regions(self) -> List[Region]:
+        return [r for r in self.regions if r.kind in ("activation", "input")]
+
+    def validate(self) -> None:
+        """Assert the map's invariants (no overlap among live pairs)."""
+        statics = self.static_regions()
+        for i, a in enumerate(statics):
+            for b in statics[i + 1 :]:
+                if a.overlaps(b):
+                    raise ConfigError(f"static regions overlap: {a.name}/{b.name}")
+        # activations ping-pong: adjacent producer/consumer pairs must not
+        # overlap, and no activation may overlap any static region
+        acts = self.activation_regions()
+        for a, b in zip(acts, acts[1:]):
+            if a.overlaps(b):
+                raise ConfigError(
+                    f"adjacent activations overlap: {a.name}/{b.name}"
+                )
+        for act in acts:
+            for static in statics:
+                if act.overlaps(static):
+                    raise ConfigError(
+                        f"activation {act.name} overlaps weights {static.name}"
+                    )
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+def allocate_memory_map(
+    net: Network, run: NetworkRun, alignment: int = 64
+) -> MemoryMap:
+    """Allocate DRAM regions for a planned run.
+
+    ``alignment`` is in words (64 = one DRAM burst of 16-bit words at the
+    default burst size), applied to every region base.
+    """
+    if alignment <= 0:
+        raise ConfigError("alignment must be positive")
+    layouts = {r.layer_name: (r.input_layout, r.output_layout) for r in run.layers}
+    contexts = {c.name: c for c in net.conv_contexts()}
+
+    regions: List[Region] = []
+    cursor = 0
+
+    # static weight regions, packed front-to-back
+    for result in run.layers:
+        ctx = contexts.get(result.layer_name)
+        if ctx is None or not isinstance(ctx.layer, ConvLayer):
+            continue
+        words = ctx.weights
+        regions.append(
+            Region(
+                name=f"{result.layer_name}/weights",
+                kind="weights",
+                base=cursor,
+                words=words,
+                layout=Layout.INTRA,
+            )
+        )
+        cursor = _align(cursor + words, alignment)
+
+    # activation ping-pong arenas: size = the largest activation involved
+    act_sizes = []
+    conv_results = [r for r in run.layers if r.layer_name in contexts]
+    for result in conv_results:
+        ctx = contexts[result.layer_name]
+        act_sizes.append(ctx.in_shape.elements)
+        act_sizes.append(ctx.out_shape.elements)
+    arena_words = _align(max(act_sizes, default=0), alignment)
+    arena_base = [cursor, _align(cursor + arena_words, alignment)]
+
+    # the network input starts in arena 0; each conv's output goes to the
+    # other arena, alternating
+    side = 0
+    if conv_results:
+        first = contexts[conv_results[0].layer_name]
+        regions.append(
+            Region(
+                name="__input__",
+                kind="input",
+                base=arena_base[side],
+                words=first.in_shape.elements,
+                layout=layouts[conv_results[0].layer_name][0],
+            )
+        )
+    for result in conv_results:
+        ctx = contexts[result.layer_name]
+        side = 1 - side
+        regions.append(
+            Region(
+                name=f"{result.layer_name}/output",
+                kind="activation",
+                base=arena_base[side],
+                words=ctx.out_shape.elements,
+                layout=layouts[result.layer_name][1],
+            )
+        )
+
+    total = arena_base[1] + arena_words
+    memory_map = MemoryMap(
+        regions=regions, total_words=total, arena_words=arena_words
+    )
+    memory_map.validate()
+    return memory_map

@@ -1,0 +1,90 @@
+"""Memory layouts: inter-order vs intra-order (Algorithm 2, lines 4-5).
+
+The adaptive planner stores each layer's output in the order the *next*
+layer's scheme wants to stream it, so no hardware layout-transformation unit
+is needed:
+
+* **inter-order** ``(X, Y, Din)`` — depth varies fastest: the ``Tin`` words an
+  inter-kernel operation consumes (same pixel position, consecutive input
+  maps) are contiguous.
+* **intra-order** ``(Din, X, Y)`` — pixels of one map are contiguous: the
+  words an intra-kernel / partitioned operation consumes (a window inside
+  one map) are contiguous.
+
+Numerically a tensor in intra-order is the familiar planar ``(D, H, W)``
+array and inter-order is its ``(H, W, D)`` transpose.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import TensorShape
+
+__all__ = [
+    "Layout",
+    "to_layout",
+    "from_layout",
+    "linear_address",
+    "reorder_moves",
+]
+
+
+class Layout(Enum):
+    """Activation layout in external memory / on-chip buffer."""
+
+    #: depth-fastest (X, Y, Din): feeds inter-kernel parallelism
+    INTER = "inter"
+    #: map-planar (Din, X, Y): feeds intra-kernel / partitioned parallelism
+    INTRA = "intra"
+
+
+def to_layout(planar: np.ndarray, layout: Layout) -> np.ndarray:
+    """Convert a planar (D, H, W) tensor to the given layout's axis order."""
+    if planar.ndim != 3:
+        raise ShapeError(f"expected (D, H, W) tensor, got {planar.shape}")
+    if layout is Layout.INTRA:
+        return planar
+    return np.ascontiguousarray(np.moveaxis(planar, 0, 2))  # (H, W, D)
+
+
+def from_layout(stored: np.ndarray, layout: Layout) -> np.ndarray:
+    """Convert a stored tensor back to planar (D, H, W)."""
+    if stored.ndim != 3:
+        raise ShapeError(f"expected rank-3 tensor, got {stored.shape}")
+    if layout is Layout.INTRA:
+        return stored
+    return np.ascontiguousarray(np.moveaxis(stored, 2, 0))
+
+
+def linear_address(
+    shape: TensorShape, d: int, y: int, x: int, layout: Layout
+) -> int:
+    """Word address of element (map ``d``, row ``y``, col ``x``) in a layout.
+
+    Used by alignment tests: consecutive inter-kernel fetches (varying ``d``)
+    must be unit-stride in INTER layout, and consecutive intra-kernel fetches
+    (varying ``x``) must be unit-stride in INTRA layout.
+    """
+    if not (0 <= d < shape.depth and 0 <= y < shape.height and 0 <= x < shape.width):
+        raise ShapeError(
+            f"index ({d},{y},{x}) out of bounds for {shape.as_tuple()}"
+        )
+    if layout is Layout.INTRA:
+        return (d * shape.height + y) * shape.width + x
+    return (y * shape.width + x) * shape.depth + d
+
+
+def reorder_moves(shape: TensorShape, src: Layout, dst: Layout) -> int:
+    """Element moves needed to convert between layouts (0 when equal).
+
+    The adaptive planner charges this only when a layer's producer stored in
+    the "wrong" order — which Algorithm 2 avoids by construction, so in
+    adaptive plans this is always zero except at the network input.
+    """
+    if src is dst:
+        return 0
+    return shape.elements

@@ -1,0 +1,101 @@
+"""Data unrolling (im2col) — the paper's Equation 1 and Fig. 3.
+
+Unrolling replicates every input pixel once per kernel window that covers
+it, turning convolution into a dense matrix product.  It makes mapping
+trivial but multiplies the footprint by
+
+    T = ((X-k)/s + 1) * ((Y-k)/s + 1) * k * k / (X * Y)          (Eq. 1)
+
+which for the bottom layers of AlexNet/GoogLeNet is 9x-18.9x (Fig. 3).
+The transform itself (:func:`im2col`) is used by the functional simulator
+to execute the intra-kernel scheme's numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import ConvLayer, TensorShape, conv_output_hw
+
+__all__ = ["UnrollStats", "unroll_factor", "unroll_stats", "im2col", "pad_input"]
+
+
+@dataclass(frozen=True)
+class UnrollStats:
+    """Raw vs unrolled footprints for one conv layer (one input tensor)."""
+
+    raw_elements: int
+    unrolled_elements: int
+
+    @property
+    def factor(self) -> float:
+        """Duplication factor T of Equation 1."""
+        return self.unrolled_elements / self.raw_elements
+
+    def raw_bits(self, word_bits: int = 16) -> int:
+        return self.raw_elements * word_bits
+
+    def unrolled_bits(self, word_bits: int = 16) -> int:
+        return self.unrolled_elements * word_bits
+
+
+def unroll_factor(x: int, y: int, k: int, s: int) -> float:
+    """Equation 1: duplication factor for an ``x*y`` map, kernel ``k``, stride ``s``.
+
+    The paper's formula assumes no padding (the unrolled matrix has one row
+    per output pixel and ``k*k`` entries per row).
+    """
+    if k > x or k > y:
+        raise ShapeError(f"kernel {k} larger than map {x}x{y}")
+    ox = (x - k) // s + 1
+    oy = (y - k) // s + 1
+    return ox * oy * k * k / (x * y)
+
+
+def unroll_stats(layer: ConvLayer, in_shape: TensorShape) -> UnrollStats:
+    """Footprint statistics for unrolling ``layer``'s input (all ``Din`` maps).
+
+    Accounts for padding: the unrolled tensor always has ``ox*oy`` rows of
+    ``k*k`` pixels per input map.
+    """
+    out = layer.output_shape(in_shape)
+    raw = in_shape.elements
+    unrolled = out.height * out.width * layer.kernel * layer.kernel * in_shape.depth
+    return UnrollStats(raw_elements=raw, unrolled_elements=unrolled)
+
+
+def pad_input(data: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes of a (D, H, W) tensor."""
+    if pad < 0:
+        raise ShapeError("pad must be non-negative")
+    if pad == 0:
+        return data
+    return np.pad(data, ((0, 0), (pad, pad), (pad, pad)))
+
+
+def im2col(data: np.ndarray, kernel: int, stride: int, pad: int = 0) -> np.ndarray:
+    """Unroll a (D, H, W) tensor into a (oh*ow, D*k*k) matrix.
+
+    Row ``r`` holds the receptive field of output pixel ``r`` (row-major over
+    the output map), with the per-map ``k*k`` patches concatenated along the
+    depth axis — the layout a software GEMM (Caffe-style) consumes.
+    """
+    if data.ndim != 3:
+        raise ShapeError(f"expected (D, H, W) tensor, got shape {data.shape}")
+    padded = pad_input(data, pad)
+    d, h, w = padded.shape
+    oh = conv_output_hw(h, kernel, stride, 0)
+    ow = conv_output_hw(w, kernel, stride, 0)
+    rows = np.empty((oh * ow, d * kernel * kernel), dtype=padded.dtype)
+    r = 0
+    for oy in range(oh):
+        iy = oy * stride
+        for ox in range(ow):
+            ix = ox * stride
+            patch = padded[:, iy : iy + kernel, ix : ix + kernel]
+            rows[r] = patch.reshape(-1)
+            r += 1
+    return rows

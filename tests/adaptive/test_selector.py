@@ -1,0 +1,89 @@
+"""Algorithm 2 selector tests."""
+
+import pytest
+
+from repro.adaptive.selector import layout_for_scheme, select_scheme
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32
+from repro.tiling.layout import Layout
+
+from tests.conftest import make_ctx
+
+
+class TestRule:
+    def test_k_equals_s_picks_intra(self, cfg16):
+        ctx = make_ctx(in_maps=32, out_maps=32, kernel=2, stride=2, hw=16)
+        assert select_scheme(ctx, cfg16).scheme == "intra"
+
+    def test_1x1_goes_inter_not_intra(self, cfg16):
+        """Line 1's 'k != 1' guard: 1x1 kernels are plain depth reductions."""
+        ctx = make_ctx(in_maps=64, out_maps=64, kernel=1, stride=1, hw=16)
+        assert select_scheme(ctx, cfg16).scheme == "inter-improved"
+
+    def test_shallow_input_picks_partition(self, alexnet_conv1_ctx, cfg16):
+        assert select_scheme(alexnet_conv1_ctx, cfg16).scheme == "partition"
+
+    def test_deep_input_picks_inter(self, cfg16):
+        ctx = make_ctx(in_maps=64, out_maps=64, kernel=3, pad=1, hw=16)
+        assert select_scheme(ctx, cfg16).scheme == "inter-improved"
+
+    def test_improved_flag_switches_variant(self, cfg16):
+        ctx = make_ctx(in_maps=64, out_maps=64, kernel=3, pad=1, hw=16)
+        assert select_scheme(ctx, cfg16, improved_inter=False).scheme == "inter"
+
+    def test_threshold_is_tin(self):
+        """Din=24 is 'deep' for Tin=16 but 'shallow' for Tin=32."""
+        ctx = make_ctx(in_maps=24, out_maps=32, kernel=3, pad=1, hw=16)
+        assert select_scheme(ctx, CONFIG_16_16).scheme == "inter-improved"
+        assert select_scheme(ctx, CONFIG_32_32).scheme == "partition"
+
+    def test_reason_is_informative(self, alexnet_conv1_ctx, cfg16):
+        choice = select_scheme(alexnet_conv1_ctx, cfg16)
+        assert "Din = 3" in choice.reason
+
+    def test_grouped_layer_uses_per_group_depth(self, alexnet, cfg32):
+        """conv2's per-group depth (48) is compared to Tin, not 96."""
+        conv2 = [c for c in alexnet.conv_contexts() if c.name == "conv2"][0]
+        # 48 >= 32 would be false... 48 >= 32 is true -> inter
+        assert select_scheme(conv2, cfg32).scheme == "inter-improved"
+        from repro.arch.config import AcceleratorConfig
+
+        wide = AcceleratorConfig(tin=64, tout=64)
+        assert select_scheme(conv2, wide).scheme == "partition"
+
+
+class TestBenchmarkSelections:
+    def test_alexnet_16_16(self, alexnet, cfg16):
+        """Bottom layer partitioned, the rest inter (Din >= 16 everywhere)."""
+        choices = {
+            c.name: select_scheme(c, cfg16).scheme
+            for c in alexnet.conv_contexts()
+        }
+        assert choices["conv1"] == "partition"
+        for name in ("conv2", "conv3", "conv4", "conv5"):
+            assert choices[name] == "inter-improved"
+
+    def test_googlenet_mixes_three_schemes_at_32(self, googlenet, cfg32):
+        """With Tin=32, GoogLeNet exercises partition AND inter paths."""
+        schemes = {
+            select_scheme(c, cfg32).scheme for c in googlenet.conv_contexts()
+        }
+        assert "partition" in schemes
+        assert "inter-improved" in schemes
+
+    def test_vgg_is_nearly_all_inter(self, vgg, cfg16):
+        """'all the layers of VGG use almost the same parameter ... the
+        space for adaptiveness is rather marginal'."""
+        choices = [select_scheme(c, cfg16).scheme for c in vgg.conv_contexts()]
+        assert choices[0] == "partition"  # conv1_1 has Din=3
+        assert all(s == "inter-improved" for s in choices[1:])
+
+
+class TestLayoutDecision:
+    def test_inter_schemes_want_inter_order(self):
+        assert layout_for_scheme("inter") is Layout.INTER
+        assert layout_for_scheme("inter-improved") is Layout.INTER
+
+    def test_map_local_schemes_want_intra_order(self):
+        assert layout_for_scheme("intra") is Layout.INTRA
+        assert layout_for_scheme("partition") is Layout.INTRA
+        assert layout_for_scheme("ideal") is Layout.INTRA

@@ -1,0 +1,65 @@
+"""Run-comparison tool tests."""
+
+import pytest
+
+from repro.adaptive import plan_network
+from repro.analysis.compare import compare_runs, render_comparison
+from repro.errors import ConfigError
+
+
+class TestCompareRuns:
+    def test_layer_alignment(self, alexnet, cfg16):
+        a = plan_network(alexnet, cfg16, "inter")
+        b = plan_network(alexnet, cfg16, "adaptive-2")
+        deltas = compare_runs(a, b)
+        assert [d.layer for d in deltas] == [r.layer_name for r in a.layers]
+
+    def test_conv1_is_the_mover(self, alexnet, cfg16):
+        a = plan_network(alexnet, cfg16, "inter")
+        b = plan_network(alexnet, cfg16, "adaptive-2")
+        deltas = {d.layer: d for d in compare_runs(a, b)}
+        assert deltas["conv1"].scheme_changed
+        assert deltas["conv1"].speedup > 4.0
+        # the top layers keep inter's cycles (improved variant, same time)
+        assert deltas["conv2"].speedup == pytest.approx(1.0)
+
+    def test_traffic_deltas(self, alexnet, cfg16):
+        a = plan_network(alexnet, cfg16, "adaptive-1")
+        b = plan_network(alexnet, cfg16, "adaptive-2")
+        for d in compare_runs(a, b):
+            assert d.traffic_a >= d.traffic_b  # adap-2 never adds traffic
+
+    def test_self_comparison_is_identity(self, alexnet, cfg16):
+        a = plan_network(alexnet, cfg16, "adaptive-2")
+        for d in compare_runs(a, a):
+            assert d.cycles_delta == 0
+            assert not d.scheme_changed
+
+    def test_different_networks_rejected(self, alexnet, nin, cfg16):
+        a = plan_network(alexnet, cfg16, "inter")
+        b = plan_network(nin, cfg16, "inter")
+        with pytest.raises(ConfigError):
+            compare_runs(a, b)
+
+    def test_different_layer_sets_rejected(self, alexnet, cfg16):
+        a = plan_network(alexnet, cfg16, "inter")
+        b = plan_network(alexnet, cfg16, "inter", include_non_conv=True)
+        with pytest.raises(ConfigError):
+            compare_runs(a, b)
+
+
+class TestRender:
+    def test_title_names_movers(self, alexnet, cfg16):
+        a = plan_network(alexnet, cfg16, "inter")
+        b = plan_network(alexnet, cfg16, "adaptive-2")
+        text = render_comparison(a, b)
+        assert "1.65x overall" in text
+        assert "conv1" in text.splitlines()[0]
+
+    def test_cli_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compare", "nin", "inter", "adaptive-2"]) == 0
+        out = capsys.readouterr().out
+        assert "overall" in out
+        assert "scheme A" in out

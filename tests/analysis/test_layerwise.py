@@ -1,0 +1,60 @@
+"""Per-layer breakdown report tests."""
+
+import pytest
+
+from repro.adaptive import plan_network
+from repro.analysis.layerwise import layerwise_rows, render_layerwise
+
+
+class TestLayerwiseRows:
+    def test_one_row_per_layer(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        rows = layerwise_rows(run)
+        assert [r.layer for r in rows] == [r.layer_name for r in run.layers]
+
+    def test_values_match_run(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        rows = layerwise_rows(run)
+        for row, layer in zip(rows, run.layers):
+            assert row.cycles == layer.total_cycles
+            assert row.scheme == layer.scheme
+            assert row.buffer_words == layer.buffer_accesses
+
+    def test_energy_sums_to_run_total(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        total = sum(r.energy_pj for r in layerwise_rows(run))
+        assert total == pytest.approx(run.energy().total_pj, rel=1e-6)
+
+    def test_bound_classification(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        rows = {r.layer: r for r in layerwise_rows(run)}
+        # AlexNet conv layers at 4 w/cyc are compute-bound under adaptive
+        assert rows["conv2"].bound == "compute"
+
+    def test_intra_conv1_is_stream_bound(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "intra")
+        rows = {r.layer: r for r in layerwise_rows(run)}
+        assert rows["conv1"].bound == "stream"
+
+
+class TestRender:
+    def test_contains_all_layers(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        text = render_layerwise(run)
+        for r in run.layers:
+            assert r.layer_name in text
+
+    def test_top_filter(self, googlenet, cfg16):
+        run = plan_network(googlenet, cfg16, "adaptive-2")
+        text = render_layerwise(run, top=3)
+        data_lines = [
+            l for l in text.splitlines()[3:] if l.strip()
+        ]  # skip title+header+rule
+        assert len(data_lines) == 3
+        # the most expensive GoogLeNet layer is conv2/3x3
+        assert "conv2/3x3" in text
+
+    def test_title_carries_totals(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        text = render_layerwise(run)
+        assert "alexnet / adaptive-2 on 16-16" in text

@@ -1,0 +1,76 @@
+"""Metric helper tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geomean,
+    reduction_pct,
+    speedup,
+)
+from repro.errors import ConfigError
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_slowdown_below_one(self):
+        assert speedup(5.0, 10.0) == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ConfigError):
+            speedup(1.0, -1.0)
+
+
+class TestReduction:
+    def test_basic(self):
+        assert reduction_pct(100.0, 10.0) == pytest.approx(90.0)
+
+    def test_negative_when_worse(self):
+        """Table 5's VGG intra row is negative: intra costs MORE energy."""
+        assert reduction_pct(100.0, 144.72) == pytest.approx(-44.72)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigError):
+            reduction_pct(0.0, 1.0)
+
+
+class TestMeans:
+    def test_geomean_of_equal_values(self):
+        assert geomean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_geomean_known(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ConfigError):
+            geomean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_arithmetic_mean_empty(self):
+        with pytest.raises(ConfigError):
+            arithmetic_mean([])
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    def test_geomean_leq_arithmetic(self, values):
+        """AM-GM inequality holds for our implementations."""
+        assert geomean(values) <= arithmetic_mean(values) + 1e-9
+
+    @given(
+        st.floats(0.1, 100.0),
+        st.floats(0.1, 100.0),
+    )
+    def test_speedup_reduction_consistency(self, base, new):
+        """speedup s and reduction r satisfy r = 100 * (1 - 1/s)."""
+        s = speedup(base, new)
+        r = reduction_pct(base, new)
+        assert r == pytest.approx(100.0 * (1.0 - 1.0 / s))

@@ -1,0 +1,75 @@
+"""ASCII plotting tests."""
+
+import pytest
+
+from repro.analysis.plots import grouped_log_chart, hbar_chart
+from repro.errors import ConfigError
+
+
+class TestHbarChart:
+    def test_contains_labels_and_values(self):
+        text = hbar_chart({"a": 10.0, "b": 100.0}, title="demo")
+        assert "demo" in text
+        assert "a |" in text.replace("  ", " ") or "a |" in text
+        assert "100" in text
+
+    def test_max_bar_for_max_value(self):
+        text = hbar_chart({"small": 1.0, "big": 100.0}, max_width=20)
+        lines = text.splitlines()
+        big_line = [l for l in lines if "big" in l][0]
+        small_line = [l for l in lines if "small" in l][0]
+        assert big_line.count("█") > small_line.count("█")
+
+    def test_log_scale_compresses(self):
+        lin = hbar_chart({"a": 1.0, "b": 1000.0}, max_width=40, log=False)
+        log = hbar_chart({"a": 1.0, "b": 1000.0}, max_width=40, log=True)
+        a_lin = [l for l in lin.splitlines() if l.startswith("a ")][0].count("█")
+        a_log = [l for l in log.splitlines() if l.startswith("a ")][0].count("█")
+        assert a_log <= a_lin  # log floor is 1 char; both tiny but log <= lin
+        b_log = [l for l in log.splitlines() if l.startswith("b ")][0].count("█")
+        assert b_log == 40
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            hbar_chart({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            hbar_chart({"a": 0.0})
+
+    def test_equal_values_ok(self):
+        text = hbar_chart({"a": 5.0, "b": 5.0}, log=True)
+        assert text.count("\n") == 1
+
+
+class TestGroupedChart:
+    DATA = {
+        "g1": {"inter": 100.0, "partition": 10.0},
+        "g2": {"inter": 200.0, "partition": 50.0},
+    }
+
+    def test_all_groups_and_series_present(self):
+        text = grouped_log_chart(self.DATA, title="t")
+        assert "-- g1" in text and "-- g2" in text
+        assert text.count("inter") == 2
+        assert text.count("partition") == 2
+
+    def test_shared_scale_across_groups(self):
+        text = grouped_log_chart(self.DATA, max_width=30)
+        lines = [l for l in text.splitlines() if "inter" in l]
+        # g2's inter (global max) has the full width
+        assert max(l.count("█") for l in lines) == 30
+
+    def test_series_order_respected(self):
+        text = grouped_log_chart(self.DATA, series_order=["partition", "inter"])
+        g1_block = text.split("-- g2")[0]
+        assert g1_block.index("partition") < g1_block.index("inter")
+
+    def test_missing_series_skipped(self):
+        data = {"g1": {"a": 1.0}, "g2": {"a": 2.0, "b": 3.0}}
+        text = grouped_log_chart(data)
+        assert text.count(" a ") + text.count(" a|") >= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            grouped_log_chart({})

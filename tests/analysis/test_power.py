@@ -1,0 +1,72 @@
+"""Power-trace tests."""
+
+import pytest
+
+from repro.adaptive import plan_network
+from repro.analysis.power import (
+    average_power_w,
+    peak_power_w,
+    power_trace,
+    render_power,
+)
+from repro.errors import ConfigError
+from repro.sim.trace import NetworkRun
+
+
+class TestPowerTrace:
+    def test_one_sample_per_layer_with_cumulative_starts(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        samples = power_trace(run)
+        assert len(samples) == len(run.layers)
+        for earlier, later in zip(samples, samples[1:]):
+            assert later.start_ms == pytest.approx(
+                earlier.start_ms + earlier.duration_ms
+            )
+
+    def test_energy_sums_to_run_total(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        total = sum(s.energy_uj for s in power_trace(run))
+        assert total == pytest.approx(run.energy().total_pj / 1e6, rel=1e-6)
+
+    def test_durations_span_the_run(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        samples = power_trace(run)
+        end = samples[-1].start_ms + samples[-1].duration_ms
+        assert end == pytest.approx(run.milliseconds(), rel=1e-9)
+
+
+class TestPowerFigures:
+    def test_average_in_plausible_band(self, alexnet, cfg16):
+        """A 256-multiplier 45 nm design draws somewhere between tens of
+        mW and a handful of watts — DianNao-era territory."""
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        avg = average_power_w(run)
+        assert 0.05 < avg < 10.0
+
+    def test_peak_at_least_average(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        assert peak_power_w(run) >= average_power_w(run) * 0.999
+
+    def test_adaptive_draws_less_average_power_than_inter(self, alexnet, cfg16):
+        """Less traffic at similar-or-better time: the adaptive plan's
+        average power is lower, not just its energy."""
+        inter = plan_network(alexnet, cfg16, "inter")
+        adaptive = plan_network(alexnet, cfg16, "adaptive-2")
+        assert average_power_w(adaptive) < average_power_w(inter)
+
+    def test_empty_run_rejected(self, cfg16):
+        empty = NetworkRun(network_name="x", policy="p", config=cfg16)
+        with pytest.raises(ConfigError):
+            average_power_w(empty)
+        with pytest.raises(ConfigError):
+            peak_power_w(empty)
+
+
+class TestRender:
+    def test_render_and_top(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        text = render_power(run)
+        assert "avg" in text and "peak" in text
+        top = render_power(run, top=2)
+        data_lines = [l for l in top.splitlines()[3:] if l.strip()]
+        assert len(data_lines) == 2

@@ -1,0 +1,61 @@
+"""16-bit fixed-point accuracy tests (the Table 3 'good enough' claim)."""
+
+import math
+
+import pytest
+
+from repro.analysis.quantization import (
+    quantization_report,
+    render_quantization,
+)
+from repro.arch.fixedpoint import FixedPointFormat
+from repro.errors import ConfigError
+from repro.nn.zoo import sequential_cnn
+
+
+def small_net():
+    return sequential_cnn(
+        "qnet", (3, 24, 24), "C16k5s2 R C24k3s1p1 R P2 C10k1"
+    )
+
+
+class TestQuantizationReport:
+    def test_every_layer_reported(self):
+        net = small_net()
+        rows = quantization_report(net)
+        assert [r.layer for r in rows] == [l.name for l in net]
+
+    def test_q78_is_good_enough(self):
+        """DianNao-class target: comfortably above 30 dB everywhere."""
+        for row in quantization_report(small_net()):
+            assert row.sqnr_db > 30.0, row.layer
+
+    def test_wider_fraction_is_more_accurate(self):
+        net = small_net()
+        q8 = quantization_report(net, fmt=FixedPointFormat(16, 8))
+        q12 = quantization_report(net, fmt=FixedPointFormat(16, 12))
+        # compare final-layer SQNR: 4 more fraction bits ~ +24 dB
+        assert q12[-1].sqnr_db > q8[-1].sqnr_db + 10.0
+
+    def test_errors_bounded(self):
+        for row in quantization_report(small_net()):
+            assert row.max_abs_error < 0.1
+
+    def test_deterministic(self):
+        a = quantization_report(small_net(), seed=3)
+        b = quantization_report(small_net(), seed=3)
+        assert a == b
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            quantization_report(small_net(), image_scale=0)
+
+    def test_render(self):
+        text = render_quantization(quantization_report(small_net()))
+        assert "SQNR" in text
+        assert "conv1" in text
+
+    def test_relu_cannot_worsen_sqnr_to_nan(self):
+        rows = quantization_report(small_net())
+        for row in rows:
+            assert not math.isnan(row.sqnr_db)

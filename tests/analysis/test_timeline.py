@@ -1,0 +1,39 @@
+"""Timeline rendering tests."""
+
+import pytest
+
+from repro.adaptive import plan_network
+from repro.analysis.timeline import render_timeline
+from repro.errors import ConfigError
+from repro.sim.trace import NetworkRun
+
+
+class TestRenderTimeline:
+    def test_two_lines_per_layer_plus_title(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        text = render_timeline(run)
+        assert len(text.splitlines()) == 1 + 2 * len(run.layers)
+
+    def test_bound_markers(self, alexnet, cfg16):
+        """intra's conv1 is memory-bound [M], its conv3 compute-bound [C]."""
+        run = plan_network(alexnet, cfg16, "intra")
+        text = render_timeline(run)
+        conv1_line = [l for l in text.splitlines() if l.lstrip().startswith("conv1")][0]
+        conv3_line = [l for l in text.splitlines() if l.lstrip().startswith("conv3")][0]
+        assert "[M]" in conv1_line
+        assert "[C]" in conv3_line
+
+    def test_longest_layer_gets_full_width(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        text = render_timeline(run, width=30)
+        assert max(l.count("█") for l in text.splitlines()) == 30
+
+    def test_top_filter(self, googlenet, cfg16):
+        run = plan_network(googlenet, cfg16, "adaptive-2")
+        text = render_timeline(run, top=4)
+        assert len(text.splitlines()) == 1 + 2 * 4
+
+    def test_empty_run_rejected(self, cfg16):
+        empty = NetworkRun(network_name="x", policy="p", config=cfg16)
+        with pytest.raises(ConfigError):
+            render_timeline(empty)

@@ -1,0 +1,85 @@
+"""Burst-level DRAM model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.dram import DEFAULT_DRAM, DramModel
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_defaults_calibrated_near_4_words_per_cycle(self):
+        assert 3.5 < DEFAULT_DRAM.peak_words_per_cycle < 4.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(burst_words=0),
+            dict(cycles_per_burst=0),
+            dict(row_miss_penalty=-1),
+            dict(row_words=100, burst_words=32),  # not a multiple
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            DramModel(**kwargs)
+
+
+class TestStreams:
+    def test_zero_words(self):
+        assert DEFAULT_DRAM.bursts_for_stream(0) == 0
+        assert DEFAULT_DRAM.cycles_for_stream(0) == 0.0
+
+    def test_unit_stride_packs_bursts(self):
+        d = DramModel(burst_words=32)
+        assert d.bursts_for_stream(64, 1) == 2
+        assert d.bursts_for_stream(65, 1) == 3
+
+    def test_strided_wastes_bursts(self):
+        d = DramModel(burst_words=32)
+        # stride 8: only 4 useful words per burst
+        assert d.bursts_for_stream(64, 8) == 16
+
+    def test_stride_beyond_burst_saturates(self):
+        d = DramModel(burst_words=32)
+        assert d.bursts_for_stream(10, 32) == 10
+        assert d.bursts_for_stream(10, 1000) == 10
+
+    def test_alignment_penalty_tracks_stride(self):
+        assert DEFAULT_DRAM.alignment_penalty(100_000, 4) == pytest.approx(
+            4.0, rel=0.05
+        )
+
+    def test_invalid_stream(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_DRAM.cycles_for_stream(-1)
+        with pytest.raises(ConfigError):
+            DEFAULT_DRAM.cycles_for_stream(10, 0)
+
+    @given(
+        words=st.integers(1, 10**6),
+        stride=st.integers(1, 128),
+    )
+    def test_monotonicity_properties(self, words, stride):
+        """More stride never costs fewer cycles; bandwidth <= peak."""
+        d = DEFAULT_DRAM
+        base = d.cycles_for_stream(words, 1)
+        strided = d.cycles_for_stream(words, stride)
+        assert strided >= base
+        assert d.effective_words_per_cycle(words, stride) <= (
+            d.burst_words / d.cycles_per_burst
+        ) + 1e-9
+
+
+class TestAlignmentArgument:
+    def test_depth_interleaved_fetch_from_planar_store_is_slow(self):
+        """The layout story quantified: an inter-kernel stream (depth-major
+        words) read from an intra-order (planar) tensor has stride = X*Y —
+        far past the burst length, so every word wastes a burst."""
+        map_pixels = 27 * 27
+        penalty = DEFAULT_DRAM.alignment_penalty(10_000, map_pixels)
+        assert penalty > 20.0
+
+    def test_matched_layout_is_free(self):
+        assert DEFAULT_DRAM.alignment_penalty(10_000, 1) == 1.0

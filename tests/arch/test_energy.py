@@ -1,0 +1,92 @@
+"""Energy model tests."""
+
+import pytest
+
+from repro.arch.buffers import AccessCounter
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32
+from repro.arch.energy import EnergyBreakdown, EnergyModel, EnergyTable
+from repro.errors import ConfigError
+
+
+class TestEnergyTable:
+    def test_sram_energy_grows_with_capacity(self):
+        t = EnergyTable()
+        small = t.sram_access_pj(4 * 1024)
+        big = t.sram_access_pj(2 * 1024 * 1024)
+        assert big > small
+
+    def test_sram_sqrt_scaling(self):
+        t = EnergyTable()
+        e1 = t.sram_access_pj(64 * 1024)
+        e4 = t.sram_access_pj(4 * 64 * 1024)
+        assert e4 == pytest.approx(2 * e1)
+
+    def test_dram_much_more_expensive_than_sram(self):
+        t = EnergyTable()
+        assert t.dram_access_pj > 10 * t.sram_access_pj(2 * 1024 * 1024)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            EnergyTable().sram_access_pj(0)
+
+    def test_invalid_constants(self):
+        with pytest.raises(ConfigError):
+            EnergyTable(mult_pj=0)
+
+
+class TestEnergyModel:
+    def test_pe_energy_proportional_to_operations(self):
+        m = EnergyModel(CONFIG_16_16)
+        assert m.pe_energy_pj(200) == pytest.approx(2 * m.pe_energy_pj(100))
+
+    def test_pe_energy_scales_with_array_size(self):
+        """A 32-32 array burns ~4x the power of a 16-16 per cycle."""
+        e16 = EnergyModel(CONFIG_16_16).pe_energy_pj(100)
+        e32 = EnergyModel(CONFIG_32_32).pe_energy_pj(100)
+        assert 3.5 < e32 / e16 < 4.5
+
+    def test_extra_adds_charged(self):
+        m = EnergyModel(CONFIG_16_16)
+        base = m.pe_energy_pj(100)
+        with_adds = m.pe_energy_pj(100, extra_adds=1000)
+        assert with_adds == pytest.approx(base + 1000 * m.table.add_pj)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(CONFIG_16_16).pe_energy_pj(-1)
+
+    def test_buffer_energy_uses_per_buffer_costs(self):
+        m = EnergyModel(CONFIG_16_16)
+        accesses = {
+            "input": AccessCounter(loads=100),
+            "bias": AccessCounter(loads=100),
+        }
+        per = m.buffer_energy_pj(accesses)
+        # the 2 MB input macro costs more per access than the 4 KB bias one
+        assert per["input"] > per["bias"]
+
+    def test_unknown_buffer_rejected(self):
+        m = EnergyModel(CONFIG_16_16)
+        with pytest.raises(ConfigError):
+            m.buffer_access_pj("cache")
+
+    def test_breakdown_totals(self):
+        m = EnergyModel(CONFIG_16_16)
+        accesses = {
+            "input": AccessCounter(loads=10),
+            "output": AccessCounter(stores=10),
+            "weight": AccessCounter(loads=10),
+            "bias": AccessCounter(),
+        }
+        bd = m.breakdown(operations=100, accesses=accesses, dram_words=5)
+        assert bd.total_pj == pytest.approx(
+            bd.pe_pj + bd.buffer_pj + bd.dram_pj
+        )
+        assert bd.dram_pj == pytest.approx(5 * m.table.dram_access_pj)
+
+    def test_breakdown_add(self):
+        a = EnergyBreakdown(pe_pj=1.0, input_buffer_pj=2.0)
+        a.add(EnergyBreakdown(pe_pj=3.0, dram_pj=4.0))
+        assert a.pe_pj == 4.0
+        assert a.dram_pj == 4.0
+        assert a.total_pj == pytest.approx(10.0)

@@ -1,0 +1,62 @@
+"""16-bit fixed-point datapath tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.fixedpoint import Q7_8, FixedPointFormat, dequantize, quantize
+from repro.errors import ConfigError
+
+
+class TestFormat:
+    def test_q78_ranges(self):
+        assert Q7_8.total_bits == 16
+        assert Q7_8.scale == 256
+        assert Q7_8.max_value == pytest.approx(127.99609375)
+        assert Q7_8.min_value == -128.0
+        assert Q7_8.resolution == pytest.approx(1 / 256)
+
+    def test_invalid_formats(self):
+        with pytest.raises(ConfigError):
+            FixedPointFormat(total_bits=1)
+        with pytest.raises(ConfigError):
+            FixedPointFormat(total_bits=16, frac_bits=16)
+        with pytest.raises(ConfigError):
+            FixedPointFormat(total_bits=16, frac_bits=-1)
+
+
+class TestQuantize:
+    def test_roundtrip_exact_values(self):
+        vals = np.array([0.0, 1.0, -1.0, 0.5, -2.25])
+        assert np.allclose(dequantize(quantize(vals)), vals)
+
+    def test_saturation(self):
+        codes = quantize(np.array([1e6, -1e6]))
+        assert codes[0] == Q7_8.max_int
+        assert codes[1] == Q7_8.min_int
+
+    def test_quantization_error_bounded(self):
+        rng = np.random.default_rng(7)
+        vals = rng.uniform(-100, 100, size=1000)
+        err = np.abs(dequantize(quantize(vals)) - vals)
+        assert err.max() <= Q7_8.resolution / 2 + 1e-12
+
+    @given(st.floats(min_value=-120, max_value=120, allow_nan=False))
+    def test_roundtrip_within_half_lsb(self, x):
+        back = dequantize(quantize(np.array([x])))[0]
+        assert abs(back - x) <= Q7_8.resolution / 2 + 1e-12
+
+    def test_fixed_point_conv_matches_float_within_tolerance(self):
+        """16-bit is 'good enough' (Table 3, with reference to DianNao)."""
+        from repro.sim.functional import reference_conv
+
+        rng = np.random.default_rng(3)
+        data = rng.uniform(-1, 1, (3, 8, 8))
+        weights = rng.uniform(-1, 1, (4, 3, 3, 3))
+        ref = reference_conv(data, weights, None, 1, 0)
+        qd = dequantize(quantize(data))
+        qw = dequantize(quantize(weights))
+        quant = reference_conv(qd, qw, None, 1, 0)
+        # error grows with the 27-term reduction but stays small
+        assert np.abs(quant - ref).max() < 27 * Q7_8.resolution

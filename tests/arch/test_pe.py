@@ -1,0 +1,56 @@
+"""PE-array model tests: operation counting and utilization."""
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.arch.pe import PEArray
+from repro.errors import ConfigError
+
+
+class TestIssue:
+    def test_peak_macs_per_operation(self):
+        pe = PEArray(CONFIG_16_16)
+        assert pe.macs_per_operation == 256
+
+    def test_full_utilization(self):
+        pe = PEArray(CONFIG_16_16)
+        pe.issue(operations=10, useful_macs=2560)
+        assert pe.utilization == pytest.approx(1.0)
+
+    def test_conv1_style_underutilization(self):
+        """Din=3 on a 16-wide array: 3/16 of the multipliers do real work."""
+        pe = PEArray(CONFIG_16_16)
+        pe.issue(operations=100, useful_macs=100 * 3 * 16)
+        assert pe.utilization == pytest.approx(3 / 16)
+
+    def test_overcommit_rejected(self):
+        pe = PEArray(CONFIG_16_16)
+        with pytest.raises(ConfigError):
+            pe.issue(operations=1, useful_macs=257)
+
+    def test_negative_rejected(self):
+        pe = PEArray(CONFIG_16_16)
+        with pytest.raises(ConfigError):
+            pe.issue(operations=-1, useful_macs=0)
+
+    def test_adder_tree_counting(self):
+        pe = PEArray(CONFIG_16_16)
+        pe.issue(operations=2, useful_macs=512)
+        # 16 trees x 15 adds per op
+        assert pe.tally.adds == 2 * 16 * 15
+
+    def test_accumulation_across_issues(self):
+        pe = PEArray(CONFIG_16_16)
+        pe.issue(5, 100)
+        pe.issue(5, 200)
+        assert pe.tally.operations == 10
+        assert pe.tally.useful_macs == 300
+
+    def test_idle_utilization_zero(self):
+        assert PEArray(CONFIG_16_16).utilization == 0.0
+
+    def test_reset(self):
+        pe = PEArray(CONFIG_16_16)
+        pe.issue(5, 100)
+        pe.reset()
+        assert pe.tally.operations == 0

@@ -1,0 +1,64 @@
+"""Architecture preset tests."""
+
+import pytest
+
+from repro.arch.presets import PRESETS, preset, preset_names
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(preset_names()) == {
+            "cbrain-16-16",
+            "cbrain-32-32",
+            "diannao",
+            "zhang-fpga",
+            "shidiannao",
+            "embedded",
+        }
+
+    def test_cbrain_is_table3(self, cfg16, cfg32):
+        assert preset("cbrain-16-16") == cfg16
+        assert preset("cbrain-32-32") == cfg32
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            preset("tpu")
+
+    def test_all_presets_valid_and_plannable(self, alexnet):
+        from repro.adaptive import plan_network
+
+        for name in preset_names():
+            run = plan_network(alexnet, preset(name), "adaptive-2")
+            assert run.total_cycles > 0, name
+
+
+class TestPresetCharacter:
+    def test_zhang_budget_matches_baseline_model(self, alexnet):
+        """The zhang-fpga preset reproduces the Fig. 9 baseline when run
+        under the plain inter policy (same dataflow, same unroll)."""
+        from repro.adaptive import plan_network
+        from repro.baselines.zhang import ZHANG_7_64
+
+        cfg = preset("zhang-fpga")
+        run = plan_network(alexnet, cfg, "inter")
+        # compute cycles equal the published-model cycles exactly
+        assert run.compute_cycles == ZHANG_7_64.network_cycles(alexnet)
+
+    def test_diannao_small_buffers_cost_traffic(self, alexnet):
+        """DianNao's 48 KB of SRAM forces re-streaming C-Brain's 5 MB of
+        buffers avoid."""
+        from repro.adaptive import plan_network
+
+        big = plan_network(alexnet, preset("cbrain-16-16"), "adaptive-2")
+        small = plan_network(alexnet, preset("diannao"), "adaptive-2")
+        assert small.dram_words > 1.5 * big.dram_words
+
+    def test_embedded_is_memory_starved(self, alexnet):
+        from repro.adaptive import plan_network
+
+        run = plan_network(alexnet, preset("embedded"), "adaptive-2")
+        stream_bound = sum(
+            1 for r in run.layers if r.stream_cycles > r.operations
+        )
+        assert stream_bound >= 2  # several layers pinned on the 1 w/cyc DMA

@@ -1,0 +1,78 @@
+"""Zhang FPGA'15 baseline tests (Fig. 9 comparator)."""
+
+import pytest
+
+from repro.baselines.zhang import ZHANG_7_64, ZhangFpgaModel
+from repro.errors import ConfigError
+
+
+class TestPublishedNumbers:
+    def test_multiplier_budget(self):
+        """The 7-64 design uses 448 multipliers."""
+        assert ZHANG_7_64.multipliers == 448
+
+    def test_conv1_matches_paper_plot(self, alexnet):
+        """Fig. 9 plots zhang conv1 ~= 7.4 ms at 100 MHz."""
+        ms = ZHANG_7_64.layer_ms(alexnet.conv1())
+        assert ms == pytest.approx(7.4, rel=0.05)
+
+    def test_whole_network_matches_paper_plot(self, alexnet):
+        """Fig. 9 plots zhang whole-NN ~= 21.6 ms; our conv-only model
+        lands within 10%."""
+        ms = ZHANG_7_64.network_ms(alexnet)
+        assert ms == pytest.approx(21.6, rel=0.10)
+
+    def test_name(self):
+        assert ZHANG_7_64.name == "zhang-7,64"
+
+
+class TestModelStructure:
+    def test_layer_cycles_formula(self, alexnet):
+        ctx = alexnet.conv1()
+        # 55*55 * 121 * ceil(3/7)=1 * ceil(96/64)=2
+        assert ZHANG_7_64.layer_cycles(ctx) == 3025 * 121 * 1 * 2
+
+    def test_grouped_layers(self, alexnet):
+        conv2 = [c for c in alexnet.conv_contexts() if c.name == "conv2"][0]
+        # per group: 27*27 * 25 * ceil(48/7)=7 * ceil(128/64)=2, two groups
+        assert ZHANG_7_64.layer_cycles(conv2) == 2 * 729 * 25 * 7 * 2
+
+    def test_breakdown_sums_to_network(self, alexnet):
+        assert sum(ZHANG_7_64.layer_breakdown(alexnet)) == pytest.approx(
+            ZHANG_7_64.network_ms(alexnet)
+        )
+
+    def test_custom_unroll(self, alexnet):
+        small = ZhangFpgaModel(tn=4, tm=32)
+        assert small.network_cycles(alexnet) > ZHANG_7_64.network_cycles(alexnet)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            ZhangFpgaModel(tn=0)
+        with pytest.raises(ConfigError):
+            ZhangFpgaModel(frequency_hz=-1)
+
+
+class TestAdaptiveBeatsZhang:
+    """The Fig. 9 headline assertions."""
+
+    def test_adpa_16_28_conv1_speedup(self, alexnet):
+        """Paper: 2.22x on conv1 at equal multiplier budget."""
+        from repro.adaptive import plan_network
+        from repro.arch.config import CONFIG_16_16
+
+        cfg = CONFIG_16_16.with_pe(16, 28).with_frequency(100e6)
+        run = plan_network(alexnet, cfg, "adaptive-2")
+        conv1_ms = cfg.cycles_to_ms(run.layers[0].total_cycles)
+        speedup = ZHANG_7_64.layer_ms(alexnet.conv1()) / conv1_ms
+        assert 1.8 < speedup < 2.7
+
+    def test_adpa_16_28_whole_net_speedup(self, alexnet):
+        """Paper: 1.20x on the whole network."""
+        from repro.adaptive import plan_network
+        from repro.arch.config import CONFIG_16_16
+
+        cfg = CONFIG_16_16.with_pe(16, 28).with_frequency(100e6)
+        run = plan_network(alexnet, cfg, "adaptive-2")
+        speedup = ZHANG_7_64.network_ms(alexnet) / run.milliseconds()
+        assert 1.05 < speedup < 1.45

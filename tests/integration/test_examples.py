@@ -1,0 +1,85 @@
+"""The shipped examples must stay runnable (they are the public tutorial).
+
+Each example runs in a subprocess with the repository's interpreter and
+must exit 0 and print its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Per-layer scheme selection" in out
+    assert "speedup:" in out
+    assert "partition" in out
+
+
+def test_layer_analysis():
+    out = run_example("layer_analysis.py", "nin")
+    assert "rule picks" in out
+    assert "whole network:" in out
+
+
+def test_design_space_exploration():
+    out = run_example("design_space_exploration.py", "alexnet", "256")
+    assert "16-16" in out
+    assert "best adaptive shape" in out
+
+
+def test_custom_network():
+    out = run_example("custom_network.py")
+    assert "Adaptive plan for custom-detector" in out
+    assert "max |err|" in out
+    assert "macro instructions" in out
+
+
+def test_batched_deployment():
+    out = run_example("batched_deployment.py", "alexnet")
+    assert "images/s" in out
+    assert "conv-only compute bound" in out
+
+
+def test_compile_and_inspect():
+    out = run_example("compile_and_inspect.py")
+    assert "macro instructions" in out
+    assert "lint: 0 errors" in out
+    assert "execution" in out and "identical" in out
+    assert "region" in out
+
+
+def test_architecture_comparison():
+    out = run_example("architecture_comparison.py", "alexnet")
+    assert "diannao" in out
+    assert "dataflow gain" in out
+
+
+def test_examples_directory_is_covered():
+    """Every shipped example has a test here."""
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {
+        "quickstart.py",
+        "layer_analysis.py",
+        "design_space_exploration.py",
+        "custom_network.py",
+        "batched_deployment.py",
+        "compile_and_inspect.py",
+        "architecture_comparison.py",
+    }
+    assert shipped == tested

@@ -1,0 +1,74 @@
+"""Golden-file regression: the headline datasets must not drift silently.
+
+``benchmarks/golden/*.csv`` pin the Fig. 7 and Fig. 8 cycle counts this
+release shipped with.  Any model change that moves a number — even inside
+the asserted qualitative bands — fails here first, forcing a conscious
+decision: fix the regression, or update the goldens *and* EXPERIMENTS.md
+together.
+
+Regenerate after an intentional change with:
+
+    python -c "from repro.analysis import *; \
+               write_csv(fig7_conv1(), 'benchmarks/golden/fig7.csv'); \
+               write_csv(fig8_whole_network(), 'benchmarks/golden/fig8.csv')"
+"""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import fig7_conv1, fig8_whole_network
+from repro.analysis.export import rows_to_dicts
+
+GOLDEN = Path(__file__).resolve().parents[2] / "benchmarks" / "golden"
+
+#: relative tolerance for cycle counts; exact reproduction expected, the
+#: epsilon only absorbs float formatting
+RTOL = 1e-9
+
+
+def load_golden(name: str):
+    with open(GOLDEN / name) as handle:
+        return list(csv.DictReader(handle))
+
+
+def keyed(records, key_fields):
+    return {
+        tuple(r[k] for k in key_fields): float(r["cycles"]) for r in records
+    }
+
+
+class TestGoldenFig7:
+    def test_exact_match(self):
+        golden = keyed(load_golden("fig7.csv"), ("config", "network", "scheme"))
+        current = keyed(
+            [
+                {k: str(v) for k, v in r.items()}
+                for r in rows_to_dicts(fig7_conv1())
+            ],
+            ("config", "network", "scheme"),
+        )
+        assert set(golden) == set(current)
+        for key, value in golden.items():
+            assert current[key] == pytest.approx(value, rel=RTOL), key
+
+
+class TestGoldenFig8:
+    def test_exact_match(self):
+        golden = keyed(load_golden("fig8.csv"), ("config", "network", "policy"))
+        current = keyed(
+            [
+                {k: str(v) for k, v in r.items()}
+                for r in rows_to_dicts(fig8_whole_network())
+            ],
+            ("config", "network", "policy"),
+        )
+        assert set(golden) == set(current)
+        for key, value in golden.items():
+            assert current[key] == pytest.approx(value, rel=RTOL), key
+
+
+def test_goldens_exist():
+    assert (GOLDEN / "fig7.csv").exists()
+    assert (GOLDEN / "fig8.csv").exists()

@@ -1,0 +1,71 @@
+"""Integration: the layout handoff is numerically lossless.
+
+Algorithm 2 (lines 4-5) has each layer store its output in the layout the
+next layer streams.  This test executes a forward pass where every
+intermediate activation physically round-trips through the layout the
+planner assigns (INTER = depth-interleaved, INTRA = planar) and checks the
+final activations are identical to the plain forward pass — i.e. the
+layout machinery is pure data movement, no values harmed.
+"""
+
+import numpy as np
+
+from repro.adaptive import plan_network
+from repro.adaptive.selector import layout_for_scheme
+from repro.arch.config import CONFIG_16_16
+from repro.nn.layers import ConvLayer, TensorShape
+from repro.nn.network import Network
+from repro.sim.forward import forward, init_weights
+from repro.tiling.layout import from_layout, to_layout
+
+
+def build_mixed_net() -> Network:
+    """A net whose adaptive plan mixes partition, intra and inter layers."""
+    net = Network("mixed", TensorShape(3, 40, 40))
+    net.add(ConvLayer("bottom", in_maps=3, out_maps=16, kernel=5, stride=1))
+    net.add(ConvLayer("sliding", in_maps=16, out_maps=24, kernel=2, stride=2))
+    net.add(ConvLayer("top", in_maps=24, out_maps=32, kernel=3, pad=1))
+    return net
+
+
+def test_plan_mixes_layouts():
+    net = build_mixed_net()
+    run = plan_network(net, CONFIG_16_16, "adaptive-2")
+    layouts = [r.input_layout for r in run.layers]
+    assert len(set(layouts)) == 2  # both INTER and INTRA appear
+
+
+def test_layout_roundtrip_preserves_forward_pass():
+    net = build_mixed_net()
+    run = plan_network(net, CONFIG_16_16, "adaptive-2")
+    params = init_weights(net, seed=5)
+    image = np.random.default_rng(9).standard_normal((3, 40, 40))
+
+    reference = forward(net, image, params=params)
+
+    # now re-run layer by layer, physically storing each activation in the
+    # layout its consumer's scheme wants, then reading it back
+    from repro.sim.forward import CONV_EXECUTORS
+
+    scheme_by_layer = {r.layer_name: r.scheme for r in run.layers}
+    activation = image
+    for idx, ctx in enumerate(net.conv_contexts()):
+        scheme = scheme_by_layer[ctx.name]
+        executor = CONV_EXECUTORS.get(scheme, CONV_EXECUTORS["reference"])
+        p = params[ctx.name]
+        out = executor(
+            activation,
+            p["weights"],
+            p["bias"],
+            ctx.layer.stride,
+            ctx.layer.pad,
+            ctx.layer.groups,
+        )
+        # store in the next consumer's layout, then load back
+        if idx + 1 < len(run.layers):
+            next_layout = run.layers[idx + 1].input_layout
+        else:
+            next_layout = layout_for_scheme(scheme)
+        stored = to_layout(out, next_layout)
+        activation = from_layout(stored, next_layout)
+        assert np.allclose(activation, reference[ctx.name], atol=1e-9), ctx.name

@@ -1,0 +1,60 @@
+"""Integration: compiled-program execution == analytical schedules.
+
+This is the reproduction's internal cross-check — the Python analogue of
+verifying the RTL (machine) against the performance model (schedules).
+"""
+
+import pytest
+
+from repro.adaptive import plan_network
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32
+from repro.isa.compiler import compile_network
+from repro.sim.machine import Machine
+
+POLICIES = ("ideal", "inter", "intra", "partition", "adaptive-1", "adaptive-2")
+
+
+@pytest.mark.parametrize("config", [CONFIG_16_16, CONFIG_32_32], ids=lambda c: c.name)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_alexnet_parity(alexnet, config, policy):
+    run = plan_network(alexnet, config, policy)
+    result = Machine(config).execute(compile_network(alexnet, config, policy))
+    assert result.compute_cycles == run.compute_cycles
+    assert result.useful_macs == run.total_macs
+    assert result.buffer_accesses == run.buffer_accesses
+    assert result.dram_words == run.dram_words
+    assert result.extra_adds == run.total_extra_adds
+    assert result.total_cycles == pytest.approx(run.total_cycles, abs=2.0)
+
+
+@pytest.mark.parametrize("netname", ["googlenet", "vgg", "nin"])
+def test_other_networks_parity_adaptive(netname, request):
+    net = request.getfixturevalue(netname)
+    config = CONFIG_16_16
+    for policy in ("inter", "adaptive-2"):
+        run = plan_network(net, config, policy)
+        result = Machine(config).execute(compile_network(net, config, policy))
+        assert result.buffer_accesses == run.buffer_accesses, policy
+        assert result.total_cycles == pytest.approx(run.total_cycles, abs=2.0)
+
+
+def test_per_buffer_parity(alexnet, cfg16):
+    run = plan_network(alexnet, cfg16, "adaptive-2")
+    result = Machine(cfg16).execute(compile_network(alexnet, cfg16, "adaptive-2"))
+    planned = run.access_totals()
+    for name in ("input", "output", "weight", "bias"):
+        assert result.accesses[name].loads == planned[name].loads, name
+        assert result.accesses[name].stores == planned[name].stores, name
+
+
+def test_energy_parity(alexnet, cfg16):
+    run = plan_network(alexnet, cfg16, "adaptive-2")
+    result = Machine(cfg16).execute(compile_network(alexnet, cfg16, "adaptive-2"))
+    assert result.energy().total_pj == pytest.approx(
+        run.energy().total_pj, rel=1e-6
+    )
+
+
+def test_region_count_matches_layers(alexnet, cfg16):
+    result = Machine(cfg16).execute(compile_network(alexnet, cfg16, "adaptive-2"))
+    assert len(result.regions) == len(alexnet.conv_contexts())

@@ -1,0 +1,57 @@
+"""Public API smoke tests: the README quickstart must work as written."""
+
+import pytest
+
+
+def test_quickstart_flow():
+    from repro import CONFIG_16_16, build, plan_network
+
+    net = build("alexnet")
+    run = plan_network(net, CONFIG_16_16, "adaptive-2")
+    assert run.total_cycles > 0
+    assert run.milliseconds() > 0
+    assert len(run.layers) == 5
+
+
+def test_select_scheme_export():
+    from repro import CONFIG_16_16, build, select_scheme
+
+    choice = select_scheme(build("alexnet").conv1(), CONFIG_16_16)
+    assert choice.scheme == "partition"
+
+
+def test_custom_config_flow():
+    from repro import build, named_config, plan_network
+
+    cfg = named_config("16-28").with_frequency(100e6)
+    run = plan_network(build("alexnet"), cfg, "adaptive-2")
+    assert run.config.tout == 28
+
+
+def test_machine_flow():
+    from repro import CONFIG_16_16, Machine, build
+    from repro.isa import compile_network
+
+    program = compile_network(build("alexnet"), CONFIG_16_16, "adaptive-2")
+    result = Machine(CONFIG_16_16).execute(program)
+    assert result.total_cycles > 0
+
+
+def test_errors_are_catchable_via_base():
+    from repro import ReproError, build
+
+    with pytest.raises(ReproError):
+        build("resnet")
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

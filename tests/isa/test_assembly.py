@@ -1,0 +1,88 @@
+"""Assembly dump/load tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.isa.assembly import assemble, disassemble
+from repro.isa.instructions import Instruction, Opcode, Program
+
+
+def sample_program() -> Program:
+    p = Program("sample", meta={"network": "alexnet", "policy": "adaptive-2"})
+    p.emit(Instruction(Opcode.DMA_LOAD_INPUT, words=100, comment="fill"))
+    p.emit(Instruction(Opcode.COMPUTE, operations=10, macs=2000))
+    p.emit(Instruction(Opcode.BUF_WRITE_OUTPUT, words=50))
+    p.emit(Instruction(Opcode.SYNC))
+    return p
+
+
+class TestRoundTrip:
+    def test_instructions_preserved(self):
+        p = sample_program()
+        back = assemble(disassemble(p))
+        assert len(back) == len(p)
+        for a, b in zip(p, back):
+            assert a.opcode is b.opcode
+            assert (a.words, a.operations, a.macs) == (b.words, b.operations, b.macs)
+
+    def test_meta_preserved(self):
+        back = assemble(disassemble(sample_program()))
+        assert back.meta == {"network": "alexnet", "policy": "adaptive-2"}
+
+    def test_comments_preserved(self):
+        back = assemble(disassemble(sample_program()))
+        assert back.instructions[0].comment == "fill"
+
+    def test_compiled_network_roundtrip_executes_identically(self, alexnet, cfg16):
+        from repro.isa.compiler import compile_network
+        from repro.sim.machine import Machine
+
+        prog = compile_network(alexnet, cfg16, "adaptive-2")
+        back = assemble(disassemble(prog))
+        a = Machine(cfg16).execute(prog)
+        b = Machine(cfg16).execute(back)
+        assert a.total_cycles == b.total_cycles
+        assert a.buffer_accesses == b.buffer_accesses
+        assert a.dram_words == b.dram_words
+
+
+class TestParsing:
+    def test_blank_lines_and_comments_ignored(self):
+        p = assemble("\n; hello\n\nsync\n")
+        assert len(p) == 1
+
+    def test_unknown_opcode(self):
+        with pytest.raises(CompileError):
+            assemble("teleport words=5")
+
+    def test_unknown_operand(self):
+        with pytest.raises(CompileError):
+            assemble("compute volts=5")
+
+    def test_non_integer_operand(self):
+        with pytest.raises(CompileError):
+            assemble("compute ops=many")
+
+    def test_malformed_meta(self):
+        with pytest.raises(CompileError):
+            assemble(".meta onlykey")
+
+    def test_inline_comment(self):
+        p = assemble("sync ; end of layer")
+        assert p.instructions[0].comment == "end of layer"
+
+
+class TestPipelinedBound:
+    def test_bound_is_at_most_total(self, all_networks, cfg16):
+        from repro.adaptive import plan_network
+
+        for net in all_networks:
+            for policy in ("inter", "intra", "adaptive-2"):
+                run = plan_network(net, cfg16, policy)
+                assert run.pipelined_cycles <= run.total_cycles + 1e-6
+
+    def test_bound_at_least_compute(self, alexnet, cfg16):
+        from repro.adaptive import plan_network
+
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        assert run.pipelined_cycles >= run.compute_cycles

@@ -1,0 +1,139 @@
+"""Compiler tests: schedule -> program lowering preserves all totals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CompileError
+from repro.isa.compiler import compile_layer, compile_network, split_evenly
+from repro.isa.instructions import Opcode
+from repro.schemes import make_scheme
+
+from tests.conftest import make_ctx
+
+
+class TestSplitEvenly:
+    def test_exact_division(self):
+        assert split_evenly(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_front_loaded(self):
+        assert split_evenly(10, 4) == [3, 3, 2, 2]
+
+    def test_zero_total(self):
+        assert split_evenly(0, 3) == [0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(CompileError):
+            split_evenly(5, 0)
+        with pytest.raises(CompileError):
+            split_evenly(-1, 2)
+
+    @given(total=st.integers(0, 10**9), parts=st.integers(1, 100))
+    def test_sums_exactly(self, total, parts):
+        pieces = split_evenly(total, parts)
+        assert sum(pieces) == total
+        assert len(pieces) == parts
+        assert max(pieces) - min(pieces) <= 1
+
+
+class TestCompileLayer:
+    def schedule(self, cfg, scheme="inter"):
+        ctx = make_ctx(in_maps=16, out_maps=32, kernel=3, pad=1, hw=14)
+        return make_scheme(scheme).schedule(ctx, cfg)
+
+    def test_totals_preserved(self, cfg16):
+        result = self.schedule(cfg16)
+        prog = compile_layer(result, cfg16)
+        assert prog.total_words(Opcode.BUF_READ_INPUT) == result.accesses["input"].loads
+        assert prog.total_words(Opcode.BUF_READ_WEIGHT) == result.accesses["weight"].loads
+        assert (
+            prog.total_words(Opcode.BUF_WRITE_OUTPUT)
+            == result.accesses["output"].stores
+        )
+        ops = sum(i.operations for i in prog if i.opcode is Opcode.COMPUTE)
+        macs = sum(i.macs for i in prog if i.opcode is Opcode.COMPUTE)
+        assert ops == result.operations
+        assert macs == result.useful_macs
+
+    def test_dma_totals_match_dram_words(self, cfg16):
+        for scheme in ("inter", "intra", "partition", "inter-improved"):
+            result = self.schedule(cfg16, scheme)
+            prog = compile_layer(result, cfg16)
+            dma = sum(i.words for i in prog if i.is_dma)
+            assert dma == result.dram_words, scheme
+
+    def test_ends_with_sync(self, cfg16):
+        prog = compile_layer(self.schedule(cfg16), cfg16)
+        assert prog.instructions[-1].opcode is Opcode.SYNC
+
+    def test_explicit_pass_count(self, cfg16):
+        result = self.schedule(cfg16)
+        prog = compile_layer(result, cfg16, passes=7)
+        assert prog.count(Opcode.COMPUTE) == 7
+
+    def test_per_pass_macs_respect_peak(self, cfg16):
+        result = self.schedule(cfg16)
+        prog = compile_layer(result, cfg16, passes=13)
+        for inst in prog:
+            if inst.opcode is Opcode.COMPUTE:
+                assert inst.macs <= inst.operations * cfg16.multipliers
+
+    def test_meta(self, cfg16):
+        prog = compile_layer(self.schedule(cfg16), cfg16)
+        assert prog.meta["scheme"] == "inter"
+        assert prog.meta["config"] == "16-16"
+
+    def test_invalid_passes(self, cfg16):
+        with pytest.raises(CompileError):
+            compile_layer(self.schedule(cfg16), cfg16, passes=0)
+
+
+class TestCompileNetwork:
+    def test_one_sync_per_layer(self, alexnet, cfg16):
+        prog = compile_network(alexnet, cfg16, "adaptive-2")
+        # 5 conv layers (no reorder barrier for the adaptive plan)
+        assert prog.count(Opcode.SYNC) == 5
+
+    def test_reorder_barrier_for_inter_policy(self, alexnet, cfg16):
+        prog = compile_network(alexnet, cfg16, "inter")
+        assert prog.count(Opcode.SYNC) == 6
+        assert prog.instructions[0].opcode is Opcode.HOST_RESHAPE
+
+    def test_meta(self, alexnet, cfg16):
+        prog = compile_network(alexnet, cfg16, "adaptive-2")
+        assert prog.meta["network"] == "alexnet"
+        assert prog.meta["policy"] == "adaptive-2"
+
+
+class TestCompileRun:
+    def test_batched_run_parity(self, alexnet, cfg16):
+        from repro.adaptive import plan_batch
+        from repro.isa.compiler import compile_run
+        from repro.sim.machine import Machine
+
+        batch = plan_batch(alexnet, cfg16, batch_size=4)
+        result = Machine(cfg16).execute(compile_run(batch.run, cfg16))
+        assert result.buffer_accesses == batch.run.buffer_accesses
+        assert result.dram_words == batch.run.dram_words
+        assert result.total_cycles == pytest.approx(
+            batch.run.total_cycles, abs=2.0
+        )
+
+    def test_full_network_run_parity(self, alexnet, cfg16):
+        from repro.adaptive import plan_network
+        from repro.isa.compiler import compile_run
+        from repro.sim.machine import Machine
+
+        run = plan_network(alexnet, cfg16, "adaptive-2", include_non_conv=True)
+        result = Machine(cfg16).execute(compile_run(run, cfg16))
+        assert result.buffer_accesses == run.buffer_accesses
+        assert result.total_cycles == pytest.approx(run.total_cycles, abs=2.0)
+
+    def test_oracle_run_parity(self, nin, cfg16):
+        from repro.adaptive import plan_network
+        from repro.isa.compiler import compile_run
+        from repro.sim.machine import Machine
+
+        run = plan_network(nin, cfg16, "oracle")
+        result = Machine(cfg16).execute(compile_run(run, cfg16))
+        assert result.buffer_accesses == run.buffer_accesses

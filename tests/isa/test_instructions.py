@@ -1,0 +1,73 @@
+"""Macro ISA tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.isa.instructions import Instruction, Opcode, Program
+
+
+class TestInstruction:
+    def test_buffer_targets(self):
+        assert Instruction(Opcode.BUF_READ_INPUT, words=4).buffer_target == "input"
+        assert Instruction(Opcode.BUF_READ_INPUT, words=4).buffer_kind == "loads"
+        assert Instruction(Opcode.BUF_WRITE_OUTPUT, words=4).buffer_kind == "stores"
+        assert Instruction(Opcode.COMPUTE, operations=1).buffer_target is None
+
+    def test_dma_fill_targets(self):
+        assert Instruction(Opcode.DMA_LOAD_INPUT, words=4).dma_fill_target == "input"
+        assert Instruction(Opcode.DMA_LOAD_WEIGHT, words=4).dma_fill_target == "weight"
+        assert Instruction(Opcode.DMA_STORE_OUTPUT, words=4).dma_fill_target is None
+
+    def test_is_dma(self):
+        assert Instruction(Opcode.DMA_STORE_OUTPUT, words=1).is_dma
+        assert not Instruction(Opcode.HOST_RESHAPE, words=1).is_dma
+
+    def test_negative_operand_rejected(self):
+        with pytest.raises(CompileError):
+            Instruction(Opcode.COMPUTE, operations=-1)
+
+    def test_macs_without_operations_rejected(self):
+        with pytest.raises(CompileError):
+            Instruction(Opcode.COMPUTE, operations=0, macs=5)
+
+
+class TestProgram:
+    def build(self) -> Program:
+        p = Program("demo")
+        p.emit(Instruction(Opcode.DMA_LOAD_INPUT, words=100))
+        p.emit(Instruction(Opcode.COMPUTE, operations=10, macs=2000))
+        p.emit(Instruction(Opcode.SYNC))
+        return p
+
+    def test_len_iter(self):
+        p = self.build()
+        assert len(p) == 3
+        assert [i.opcode for i in p] == [
+            Opcode.DMA_LOAD_INPUT,
+            Opcode.COMPUTE,
+            Opcode.SYNC,
+        ]
+
+    def test_count_and_total_words(self):
+        p = self.build()
+        p.emit(Instruction(Opcode.DMA_LOAD_INPUT, words=50))
+        assert p.count(Opcode.DMA_LOAD_INPUT) == 2
+        assert p.total_words(Opcode.DMA_LOAD_INPUT) == 150
+
+    def test_extend(self):
+        a, b = self.build(), self.build()
+        a.extend(b)
+        assert len(a) == 6
+
+    def test_listing_truncates(self):
+        p = Program("long")
+        for _ in range(100):
+            p.emit(Instruction(Opcode.SYNC))
+        text = p.listing(limit=10)
+        assert "90 more" in text
+
+    def test_listing_shows_operands(self):
+        text = self.build().listing()
+        assert "words=100" in text
+        assert "ops=10" in text
+        assert "macs=2000" in text

@@ -1,0 +1,80 @@
+"""Program linter tests."""
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.isa.instructions import Instruction, Opcode, Program
+from repro.isa.validate import assert_valid, lint_program
+
+
+def prog(*instructions) -> Program:
+    p = Program("lint-test")
+    for inst in instructions:
+        p.emit(inst)
+    return p
+
+
+class TestLint:
+    def test_clean_program(self):
+        p = prog(
+            Instruction(Opcode.DMA_LOAD_INPUT, words=100),
+            Instruction(Opcode.COMPUTE, operations=10, macs=2000),
+            Instruction(Opcode.BUF_WRITE_OUTPUT, words=50),
+            Instruction(Opcode.DMA_STORE_OUTPUT, words=50),
+            Instruction(Opcode.SYNC),
+        )
+        assert lint_program(p, CONFIG_16_16) == []
+        assert_valid(p, CONFIG_16_16)
+
+    def test_missing_sync_is_warning(self):
+        p = prog(Instruction(Opcode.COMPUTE, operations=1, macs=0))
+        issues = lint_program(p, CONFIG_16_16)
+        assert any("SYNC" in i.message and i.severity == "warning" for i in issues)
+        assert_valid(p, CONFIG_16_16)  # warnings don't fail
+
+    def test_overdrained_output_is_error(self):
+        p = prog(
+            Instruction(Opcode.BUF_WRITE_OUTPUT, words=10),
+            Instruction(Opcode.DMA_STORE_OUTPUT, words=20),
+            Instruction(Opcode.SYNC),
+        )
+        issues = lint_program(p, CONFIG_16_16)
+        assert any(i.severity == "error" for i in issues)
+        with pytest.raises(AssertionError):
+            assert_valid(p, CONFIG_16_16)
+
+    def test_oversized_fill_is_warning(self):
+        huge = CONFIG_16_16.input_buffer_words + 1
+        p = prog(
+            Instruction(Opcode.DMA_LOAD_INPUT, words=huge),
+            Instruction(Opcode.SYNC),
+        )
+        issues = lint_program(p, CONFIG_16_16)
+        assert any("exceeds its capacity" in i.message for i in issues)
+
+    def test_empty_program_clean(self):
+        assert lint_program(prog(), CONFIG_16_16) == []
+
+
+class TestCompilerOutputIsClean:
+    """Everything the compiler emits must lint error-free."""
+
+    @pytest.mark.parametrize(
+        "policy", ["ideal", "inter", "intra", "partition", "adaptive-2"]
+    )
+    def test_alexnet_programs(self, alexnet, cfg16, policy):
+        from repro.isa.compiler import compile_network
+
+        program = compile_network(alexnet, cfg16, policy)
+        errors = [
+            i for i in lint_program(program, cfg16) if i.severity == "error"
+        ]
+        assert errors == [], policy
+
+    def test_batched_program(self, alexnet, cfg16):
+        from repro.adaptive import plan_batch
+        from repro.isa.compiler import compile_run
+
+        batch = plan_batch(alexnet, cfg16, batch_size=8)
+        program = compile_run(batch.run, cfg16)
+        assert_valid(program, cfg16)

@@ -1,0 +1,72 @@
+"""sequential_cnn DSL tests."""
+
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.layers import ConvLayer, FCLayer, LRNLayer, PoolLayer, ReLULayer
+from repro.nn.zoo import sequential_cnn
+
+
+class TestParsing:
+    def test_conv_full_form(self):
+        net = sequential_cnn("n", (3, 16, 16), "C8k3s2p1g1")
+        conv = net.layer("conv1")
+        assert isinstance(conv, ConvLayer)
+        assert (conv.out_maps, conv.kernel, conv.stride, conv.pad, conv.groups) == (
+            8, 3, 2, 1, 1,
+        )
+
+    def test_conv_defaults(self):
+        conv = sequential_cnn("n", (3, 16, 16), "C8k3").layer("conv1")
+        assert (conv.stride, conv.pad, conv.groups) == (1, 0, 1)
+
+    def test_pool_default_stride_equals_kernel(self):
+        pool = sequential_cnn("n", (3, 16, 16), "P2").layer("pool1")
+        assert isinstance(pool, PoolLayer)
+        assert (pool.kernel, pool.stride, pool.mode) == (2, 2, "max")
+
+    def test_avg_pool(self):
+        pool = sequential_cnn("n", (3, 16, 16), "P3s2a").layer("pool1")
+        assert pool.mode == "avg"
+
+    def test_fc_relu_lrn(self):
+        net = sequential_cnn("n", (3, 8, 8), "C4k1 R N F10")
+        assert isinstance(net.layer("relu1"), ReLULayer)
+        assert isinstance(net.layer("norm1"), LRNLayer)
+        assert isinstance(net.layer("fc1"), FCLayer)
+        assert net.shape_of("fc1").depth == 10
+
+    def test_depth_threads_through(self):
+        net = sequential_cnn("n", (3, 32, 32), "C16k3p1 C32k3p1")
+        assert net.layer("conv2").in_maps == 16
+
+    def test_tuple_input_shape(self):
+        net = sequential_cnn("n", (1, 8, 8), "C2k1")
+        assert net.input_shape.as_tuple() == (1, 8, 8)
+
+    def test_alexnet_like_spec_schedulable(self, cfg16):
+        from repro.adaptive import plan_network
+
+        net = sequential_cnn(
+            "mini-alex",
+            (3, 64, 64),
+            "C24k7s2 R P3s2 C48k5s1p2 R P3s2 C64k3s1p1 R F100",
+        )
+        run = plan_network(net, cfg16, "adaptive-2")
+        assert run.layers[0].scheme == "partition"
+        assert run.total_cycles > 0
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["X3", "C8", "Ck3", "P", "F", "C8k3x1"])
+    def test_bad_tokens(self, bad):
+        with pytest.raises(ConfigError):
+            sequential_cnn("n", (3, 16, 16), bad)
+
+    def test_empty_spec(self):
+        with pytest.raises(ConfigError):
+            sequential_cnn("n", (3, 16, 16), "   ")
+
+    def test_shape_errors_propagate(self):
+        with pytest.raises(ShapeError):
+            sequential_cnn("n", (3, 4, 4), "C8k9")

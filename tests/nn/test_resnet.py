@@ -1,0 +1,125 @@
+"""Residual-network extension tests (EltwiseAdd + zoo builder)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.layers import ConvLayer, EltwiseAddLayer, TensorShape
+from repro.nn.network import Network
+from repro.nn.zoo.resnet import build_resnet_small
+from repro.sim.forward import forward, init_weights
+
+
+class TestEltwiseAddLayer:
+    def test_shape_preserved(self):
+        layer = EltwiseAddLayer("add")
+        shape = TensorShape(4, 8, 8)
+        assert layer.output_shape(shape) == shape
+        assert layer.macs(shape) == 0
+        assert layer.weight_count(shape) == 0
+
+    def test_needs_two_branches(self):
+        with pytest.raises(ShapeError):
+            EltwiseAddLayer("add", branch_count=1)
+
+    def test_network_checks_branch_count(self):
+        net = Network("n", TensorShape(2, 4, 4))
+        net.add(ConvLayer("c", in_maps=2, out_maps=2, kernel=1))
+        with pytest.raises(ShapeError):
+            net.add(EltwiseAddLayer("add"), inputs=["c"])  # only one input
+
+    def test_network_checks_shape_agreement(self):
+        net = Network("n", TensorShape(2, 4, 4))
+        net.add(ConvLayer("c1", in_maps=2, out_maps=2, kernel=1))
+        net.add(ConvLayer("c2", in_maps=2, out_maps=4, kernel=1), inputs=["__input__"])
+        with pytest.raises(ShapeError):
+            net.add(EltwiseAddLayer("add"), inputs=["c1", "c2"])
+
+    def test_forward_adds(self):
+        net = Network("n", TensorShape(2, 4, 4))
+        net.add(ConvLayer("c", in_maps=2, out_maps=2, kernel=1, bias=False))
+        net.add(EltwiseAddLayer("add"), inputs=["c", "__input__"])
+        image = np.random.default_rng(0).standard_normal((2, 4, 4))
+        acts = forward(net, image)
+        assert np.allclose(acts["add"], acts["c"] + image)
+
+
+class TestResnetBuilder:
+    def test_depth_naming(self):
+        assert build_resnet_small(2).name == "resnet-14"
+        assert build_resnet_small(3).name == "resnet-20"
+
+    def test_shapes(self):
+        net = build_resnet_small(2)
+        assert net.shape_of("s1b1/relu2").as_tuple() == (16, 32, 32)
+        assert net.shape_of("s2b0/relu2").as_tuple() == (32, 16, 16)
+        assert net.shape_of("s3b1/relu2").as_tuple() == (64, 8, 8)
+        assert net.shape_of("classifier").depth == 10
+
+    def test_projection_shortcuts_only_at_stage_entries(self):
+        net = build_resnet_small(2)
+        projections = [l.name for l in net if l.name.endswith("/proj")]
+        assert projections == ["s2b0/proj", "s3b0/proj"]
+        for name in projections:
+            layer = net.layer(name)
+            assert layer.kernel == 1 and layer.stride == 2
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ConfigError):
+            build_resnet_small(0)
+
+    def test_forward_runs(self):
+        net = build_resnet_small(1, input_hw=16)
+        image = np.random.default_rng(1).standard_normal((3, 16, 16)) * 0.5
+        acts = forward(net, image, params=init_weights(net, seed=2))
+        assert acts["classifier"].shape == (10, 1, 1)
+
+    def test_partition_forward_matches_reference(self):
+        """The residual topology under the partitioned executors — the
+        Fig. 5(d) equivalence survives shortcuts and strided projections."""
+        net = build_resnet_small(1, input_hw=16)
+        image = np.random.default_rng(3).standard_normal((3, 16, 16)) * 0.5
+        params = init_weights(net, seed=4)
+        ref = forward(net, image, params=params)
+        part = forward(net, image, params=params, conv_scheme="partition")
+        for layer in net:
+            assert np.allclose(
+                part[layer.name], ref[layer.name], atol=1e-9
+            ), layer.name
+
+
+class TestResnetScheduling:
+    def test_adaptive_plan_covers_all_convs(self, cfg16):
+        from repro.adaptive import plan_network
+
+        net = build_resnet_small(2)
+        run = plan_network(net, cfg16, "adaptive-2")
+        assert len(run.layers) == len(net.conv_contexts())
+
+    def test_projection_layers_get_inter(self, cfg16):
+        """The strided 1x1 shortcuts: k == s == 1 is not 'k = s, k != 1',
+        so Algorithm 2 routes them to inter — the documented corner."""
+        from repro.adaptive import choices_for_network
+
+        net = build_resnet_small(2)
+        choices = {c.layer_name: c.scheme for c in choices_for_network(net, cfg16)}
+        assert choices["s2b0/proj"] == "inter-improved"
+
+    def test_full_plan_with_residual_adds(self, cfg16):
+        from repro.adaptive import plan_network
+
+        net = build_resnet_small(2)
+        run = plan_network(net, cfg16, "adaptive-2", include_non_conv=True)
+        schemes = {r.scheme for r in run.layers}
+        assert "aux-add" in schemes
+
+    def test_machine_parity(self, cfg16):
+        from repro.adaptive import plan_network
+        from repro.isa.compiler import compile_run
+        from repro.sim.machine import Machine
+
+        net = build_resnet_small(2)
+        run = plan_network(net, cfg16, "adaptive-2", include_non_conv=True)
+        result = Machine(cfg16).execute(compile_run(run, cfg16))
+        assert result.buffer_accesses == run.buffer_accesses
+        assert result.total_cycles == pytest.approx(run.total_cycles, abs=2.0)

@@ -1,0 +1,48 @@
+"""Per-layer network statistics tests."""
+
+import pytest
+
+from repro.nn.stats import network_stats, render_network_stats
+from repro.nn.zoo import build
+
+
+class TestNetworkStats:
+    def test_conv_and_fc_covered(self, alexnet):
+        rows = network_stats(alexnet)
+        kinds = {r.layer: r.kind for r in rows}
+        assert kinds["conv1"] == "conv"
+        assert kinds["fc6"] == "fc"
+        assert len(rows) == 8  # 5 conv + 3 fc
+
+    def test_macs_match_contexts(self, alexnet):
+        rows = {r.layer: r for r in network_stats(alexnet)}
+        for ctx in alexnet.conv_contexts():
+            assert rows[ctx.name].macs == ctx.macs
+
+    def test_conv_dominates_macs_fc_dominates_weights(self, alexnet):
+        """The classic CNN asymmetry, straight from the stats."""
+        rows = network_stats(alexnet)
+        conv_macs = sum(r.macs for r in rows if r.kind == "conv")
+        fc_macs = sum(r.macs for r in rows if r.kind == "fc")
+        conv_weights = sum(r.weights for r in rows if r.kind == "conv")
+        fc_weights = sum(r.weights for r in rows if r.kind == "fc")
+        assert conv_macs > 10 * fc_macs
+        assert fc_weights > 5 * conv_weights
+
+    def test_arithmetic_intensity_ordering(self, alexnet):
+        """Conv layers are compute-rich; FC layers sit near 1 MAC/word."""
+        rows = {r.layer: r for r in network_stats(alexnet)}
+        assert rows["conv3"].arithmetic_intensity > 50
+        assert rows["fc6"].arithmetic_intensity < 2
+
+    def test_render_full_and_top(self, googlenet):
+        full = render_network_stats(googlenet)
+        assert "conv2/3x3" in full
+        top = render_network_stats(googlenet, top=3)
+        data_lines = [l for l in top.splitlines()[3:] if l.strip()]
+        assert len(data_lines) == 3
+
+    def test_share_sums_to_100(self, nin):
+        rows = network_stats(nin)
+        total = sum(r.macs for r in rows)
+        assert sum(100 * r.macs / total for r in rows) == pytest.approx(100.0)

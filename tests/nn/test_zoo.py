@@ -1,0 +1,145 @@
+"""Zoo tests: the four benchmark networks must match the paper's Table 2."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.layers import ConvLayer
+from repro.nn.zoo import benchmark_networks, build
+
+
+class TestTable2:
+    """Table 2 of the paper: network characteristics."""
+
+    @pytest.mark.parametrize(
+        "name, conv1_params, n_convs, kernels",
+        [
+            ("alexnet", (3, 11, 4, 96), 5, (11, 5, 3)),
+            ("googlenet", (3, 7, 2, 64), 57, (7, 5, 3, 1)),
+            ("vgg", (3, 3, 1, 64), 16, (3,)),
+            ("nin", (3, 11, 4, 96), 12, (11, 5, 3, 1)),
+        ],
+    )
+    def test_row(self, name, conv1_params, n_convs, kernels):
+        summary = build(name).summary()
+        c1 = summary.conv1
+        assert (c1.in_maps, c1.kernel, c1.stride, c1.out_maps) == conv1_params
+        assert summary.conv_layers == n_convs
+        assert summary.kernel_sizes == kernels
+
+
+class TestAlexnet:
+    def test_conv_shapes(self, alexnet):
+        expected = {
+            "conv1": (96, 55, 55),
+            "conv2": (256, 27, 27),
+            "conv3": (384, 13, 13),
+            "conv4": (384, 13, 13),
+            "conv5": (256, 13, 13),
+        }
+        for ctx in alexnet.conv_contexts():
+            assert ctx.out_shape.as_tuple() == expected[ctx.name]
+
+    def test_grouped_conv2_sees_48_maps(self, alexnet):
+        """The paper quotes Din=48 for c2: the per-group depth."""
+        conv2 = alexnet.layer("conv2")
+        assert conv2.groups == 2
+        assert conv2.in_maps // conv2.groups == 48
+
+    def test_total_macs_in_known_band(self, alexnet):
+        # AlexNet conv MACs ~= 0.67G, + FC ~= 0.06G
+        total = alexnet.summary().total_macs
+        assert 6.5e8 < total < 8.0e8
+
+    def test_fc_classifier(self, alexnet):
+        assert alexnet.shape_of("fc8").depth == 1000
+
+
+class TestGoogLeNet:
+    def test_inception_3a_output(self, googlenet):
+        assert googlenet.shape_of("inception_3a/output").as_tuple() == (256, 28, 28)
+
+    def test_inception_4e_output(self, googlenet):
+        assert googlenet.shape_of("inception_4e/output").depth == 832
+
+    def test_inception_5b_output(self, googlenet):
+        assert googlenet.shape_of("inception_5b/output").as_tuple() == (1024, 7, 7)
+
+    def test_final_pool_is_1x1(self, googlenet):
+        assert googlenet.shape_of("pool5/7x7_s1").as_tuple() == (1024, 1, 1)
+
+    def test_branch_fanout(self, googlenet):
+        srcs = googlenet.input_names("inception_3a/1x1")
+        assert srcs == ("pool2/3x3_s2",)
+        assert googlenet.input_names("inception_3a/output") == (
+            "inception_3a/1x1",
+            "inception_3a/3x3",
+            "inception_3a/5x5",
+            "inception_3a/pool_proj",
+        )
+
+
+class TestVgg:
+    def test_all_convs_are_3x3_stride1(self, vgg):
+        for ctx in vgg.conv_contexts():
+            assert ctx.layer.kernel == 3
+            assert ctx.layer.stride == 1
+
+    def test_spatial_preserved_within_blocks(self, vgg):
+        assert vgg.shape_of("conv1_2").as_tuple() == (64, 224, 224)
+        assert vgg.shape_of("conv5_4").as_tuple() == (512, 14, 14)
+
+    def test_macs_around_19_6g(self, vgg):
+        conv_macs = sum(c.macs for c in vgg.conv_contexts())
+        assert 1.9e10 < conv_macs < 2.0e10
+
+    def test_biggest_layer_exceeds_paper_8mb(self, vgg):
+        """The paper: 'the biggest layer need 8M buffer'."""
+        biggest = max(
+            c.in_shape.bytes() + c.out_shape.bytes() for c in vgg.conv_contexts()
+        )
+        assert biggest > 8 * 1024 * 1024
+
+
+class TestNin:
+    def test_mlpconv_structure(self, nin):
+        names = [c.name for c in nin.conv_contexts()]
+        assert names[0:3] == ["conv1", "cccp1", "cccp2"]
+        # cccp layers are 1x1
+        for ctx in nin.conv_contexts():
+            if ctx.name.startswith("cccp"):
+                assert ctx.layer.kernel == 1
+
+    def test_classifier_depth(self, nin):
+        assert nin.shape_of("cccp8-1024").depth == 1000
+
+
+class TestRegistry:
+    def test_benchmark_networks_order(self):
+        names = [n.name for n in benchmark_networks()]
+        assert names == ["alexnet", "googlenet", "vgg", "nin"]
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            build("lenet")
+
+    def test_every_conv_declares_consistent_depth(self, all_networks):
+        for net in all_networks:
+            for ctx in net.conv_contexts():
+                assert isinstance(ctx.layer, ConvLayer)
+                assert ctx.in_shape.depth == ctx.layer.in_maps
+
+
+class TestVggVariants:
+    def test_vgg16_preset(self):
+        from repro.nn.zoo.vgg import VGG16_BLOCKS, build_vgg
+
+        net = build_vgg(VGG16_BLOCKS)
+        assert net.summary().conv_layers == 13
+        assert net.shape_of("conv5_3").as_tuple() == (512, 14, 14)
+
+    def test_custom_blocks(self):
+        from repro.nn.zoo.vgg import build_vgg
+
+        net = build_vgg([(8, 1), (16, 2)], include_fc=False)
+        assert net.summary().conv_layers == 3
+        assert net.shape_of("pool2").as_tuple() == (16, 56, 56)

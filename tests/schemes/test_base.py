@@ -1,0 +1,98 @@
+"""Scheme base-layer tests: geometry, result record, access merging."""
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.errors import ScheduleError
+from repro.nn.layers import PoolLayer, TensorShape
+from repro.nn.network import LayerContext
+from repro.schemes import make_scheme
+from repro.schemes.base import group_geometry, merge_accesses
+
+from tests.conftest import make_ctx
+
+
+class TestGroupGeometry:
+    def test_plain(self):
+        geom = group_geometry(make_ctx(in_maps=6, out_maps=8, kernel=3, hw=10))
+        assert geom.groups == 1
+        assert geom.d == 6
+        assert geom.dout_g == 8
+        assert (geom.ox, geom.oy) == (8, 8)
+        assert geom.out_pixels == 64
+
+    def test_grouped_alexnet_conv2_quotes_48(self, alexnet):
+        geom = group_geometry(
+            [c for c in alexnet.conv_contexts() if c.name == "conv2"][0]
+        )
+        assert geom.groups == 2
+        assert geom.d == 48  # the paper's 'Din=48' for c2
+        assert geom.dout_g == 128
+
+    def test_macs_match_layer(self):
+        ctx = make_ctx(in_maps=4, out_maps=8, kernel=3, pad=1, groups=2, hw=12)
+        assert group_geometry(ctx).macs == ctx.macs
+
+    def test_non_conv_rejected(self):
+        layer = PoolLayer("p", kernel=2, stride=2)
+        shape = TensorShape(4, 8, 8)
+        ctx = LayerContext(layer, shape, layer.output_shape(shape))
+        with pytest.raises(ScheduleError):
+            group_geometry(ctx)
+
+
+class TestMergeAccesses:
+    def test_basic(self):
+        acc = merge_accesses({"input_loads": 5, "output_stores": 7})
+        assert acc["input"].loads == 5
+        assert acc["output"].stores == 7
+        assert acc["weight"].total == 0
+
+    def test_multiple_mappings_accumulate(self):
+        acc = merge_accesses({"input_loads": 5}, {"input_loads": 3})
+        assert acc["input"].loads == 8
+
+    def test_bad_key(self):
+        with pytest.raises(ScheduleError):
+            merge_accesses({"cache_loads": 1})
+        with pytest.raises(ScheduleError):
+            merge_accesses({"input_reads": 1})
+
+    def test_negative(self):
+        with pytest.raises(ScheduleError):
+            merge_accesses({"input_loads": -1})
+
+
+class TestScheduleResult:
+    def test_total_cycles_compute_bound(self, cfg16):
+        ctx = make_ctx(in_maps=64, out_maps=64, kernel=3, pad=1, hw=16)
+        r = make_scheme("inter").schedule(ctx, cfg16)
+        assert r.total_cycles == max(r.operations, r.stream_cycles)
+
+    def test_utilization_bounds(self, cfg16, all_networks):
+        for net in all_networks:
+            for ctx in net.conv_contexts():
+                for name in ("ideal", "inter", "intra", "partition"):
+                    scheme = make_scheme(name)
+                    try:
+                        r = scheme.schedule(ctx, cfg16)
+                    except ScheduleError:
+                        continue
+                    assert 0.0 < r.utilization <= 1.0, (net.name, ctx.name, name)
+
+    def test_milliseconds(self, cfg16):
+        ctx = make_ctx()
+        r = make_scheme("ideal").schedule(ctx, cfg16)
+        assert r.milliseconds() == pytest.approx(
+            r.total_cycles / cfg16.frequency_hz * 1e3
+        )
+
+    def test_buffer_access_bits_is_16x_words(self, cfg16):
+        ctx = make_ctx()
+        r = make_scheme("inter").schedule(ctx, cfg16)
+        assert r.buffer_access_bits == 16 * r.buffer_accesses
+
+    def test_supports(self, cfg16):
+        partition = make_scheme("partition")
+        assert partition.supports(make_ctx(kernel=3, stride=1), cfg16)
+        assert not partition.supports(make_ctx(kernel=1, stride=1), cfg16)

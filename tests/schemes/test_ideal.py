@@ -1,0 +1,88 @@
+"""Ideal-bound scheme tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import CONFIG_16_16
+from repro.errors import ScheduleError
+from repro.schemes import all_scheme_names, make_scheme
+
+from tests.conftest import make_ctx
+
+
+class TestIdeal:
+    def test_cycles_are_macs_over_multipliers(self, cfg16):
+        ctx = make_ctx(in_maps=8, out_maps=16, kernel=3, pad=1, hw=12)
+        r = make_scheme("ideal").schedule(ctx, cfg16)
+        assert r.operations == math.ceil(ctx.macs / 256)
+
+    def test_full_utilization(self, cfg16):
+        ctx = make_ctx(in_maps=16, out_maps=16, kernel=4, stride=4, hw=16)
+        r = make_scheme("ideal").schedule(ctx, cfg16)
+        assert r.utilization == pytest.approx(1.0)
+
+    def test_minimal_traffic(self, cfg16):
+        ctx = make_ctx(in_maps=4, out_maps=8, kernel=3, hw=10)
+        r = make_scheme("ideal").schedule(ctx, cfg16)
+        assert r.accesses["input"].loads == ctx.in_shape.elements
+        assert r.accesses["output"].stores == ctx.out_shape.elements
+
+
+class TestIdealIsLowerBound:
+    """Every real scheme's compute must be >= the ideal bound."""
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        k=st.integers(1, 7),
+        s=st.integers(1, 4),
+        d=st.integers(1, 40),
+        dout=st.integers(1, 40),
+        hw=st.integers(8, 32),
+    )
+    def test_property(self, k, s, d, dout, hw):
+        if k > hw:
+            return
+        ctx = make_ctx(in_maps=d, out_maps=dout, kernel=k, stride=s, hw=hw)
+        ideal = make_scheme("ideal").schedule(ctx, CONFIG_16_16)
+        for name in all_scheme_names():
+            if name == "ideal":
+                continue
+            try:
+                r = make_scheme(name).schedule(ctx, CONFIG_16_16)
+            except ScheduleError:
+                continue
+            assert r.operations >= ideal.operations, name
+            assert r.total_cycles >= ideal.operations, name
+
+    def test_on_benchmark_conv1(self, all_networks, cfg16):
+        for net in all_networks:
+            ctx = net.conv1()
+            ideal = make_scheme("ideal").schedule(ctx, cfg16)
+            for name in ("inter", "intra", "partition", "inter-improved"):
+                r = make_scheme(name).schedule(ctx, cfg16)
+                assert r.operations >= ideal.operations, (net.name, name)
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert set(all_scheme_names()) == {
+            "ideal",
+            "inter",
+            "inter-improved",
+            "intra",
+            "partition",
+            "pe2d",
+        }
+
+    def test_unknown_scheme(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            make_scheme("systolic")
+
+    def test_scheme_names_match_attribute(self):
+        for name in all_scheme_names():
+            assert make_scheme(name).name == name

@@ -1,0 +1,89 @@
+"""Inter-kernel scheme tests (Sec 4.1.1) — utilization cliffs and traffic."""
+
+import math
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32
+from repro.schemes import make_scheme
+
+from tests.conftest import make_ctx
+
+
+class TestCycles:
+    def test_formula(self, cfg16):
+        ctx = make_ctx(in_maps=32, out_maps=32, kernel=3, pad=1, hw=8)
+        r = make_scheme("inter").schedule(ctx, cfg16)
+        assert r.operations == 64 * 9 * math.ceil(32 / 16) * math.ceil(32 / 16)
+
+    def test_conv1_wastes_13_of_16_lanes(self, alexnet_conv1_ctx, cfg16):
+        """Din=3 with Tin=16: '13 PEs unutilized' (Sec 4.1.1)."""
+        r = make_scheme("inter").schedule(alexnet_conv1_ctx, cfg16)
+        # data-side utilization is 3/16; output side is full (96 % 16 == 0)
+        assert r.utilization == pytest.approx(3 / 16)
+
+    def test_wider_array_wastes_more(self, alexnet_conv1_ctx):
+        """'with Tin wider, more and more computing resources wasted'."""
+        u16 = make_scheme("inter").schedule(alexnet_conv1_ctx, CONFIG_16_16).utilization
+        u32 = make_scheme("inter").schedule(alexnet_conv1_ctx, CONFIG_32_32).utilization
+        assert u32 < u16
+
+    def test_matched_depth_reaches_ideal_compute(self, cfg16):
+        """'When the number of input maps matches Tin, real == ideal'."""
+        ctx = make_ctx(in_maps=16, out_maps=16, kernel=3, pad=1, hw=16)
+        inter = make_scheme("inter").schedule(ctx, cfg16)
+        ideal = make_scheme("ideal").schedule(ctx, cfg16)
+        assert inter.operations == ideal.operations
+
+    def test_chunk_quantization(self, cfg16):
+        # Din=17 needs two chunks, one nearly empty
+        ctx = make_ctx(in_maps=17, out_maps=16, kernel=3, pad=1, hw=8)
+        r = make_scheme("inter").schedule(ctx, cfg16)
+        assert r.utilization == pytest.approx(17 / 32)
+
+    def test_grouped_layers(self, alexnet, cfg16):
+        conv2 = [c for c in alexnet.conv_contexts() if c.name == "conv2"][0]
+        r = make_scheme("inter").schedule(conv2, cfg16)
+        # per group: 27*27 pixels, 25 window, ceil(48/16)=3, ceil(128/16)=8
+        assert r.operations == 2 * 729 * 25 * 3 * 8
+
+
+class TestTraffic:
+    def test_no_weight_reuse(self, cfg16):
+        """Every weight is re-fetched for every output pixel."""
+        ctx = make_ctx(in_maps=16, out_maps=16, kernel=3, pad=1, hw=8)
+        r = make_scheme("inter").schedule(ctx, cfg16)
+        weights = 9 * 16 * 16
+        assert r.accesses["weight"].loads == 64 * weights
+
+    def test_data_refetched_per_output_chunk(self, cfg16):
+        narrow = make_scheme("inter").schedule(
+            make_ctx(in_maps=16, out_maps=16, kernel=3, pad=1, hw=8), cfg16
+        )
+        wide = make_scheme("inter").schedule(
+            make_ctx(in_maps=16, out_maps=32, kernel=3, pad=1, hw=8), cfg16
+        )
+        assert wide.accesses["input"].loads == 2 * narrow.accesses["input"].loads
+
+    def test_one_store_per_output_pixel(self, cfg16):
+        ctx = make_ctx(in_maps=16, out_maps=16, kernel=3, pad=1, hw=8)
+        r = make_scheme("inter").schedule(ctx, cfg16)
+        # partial sums complete inside the PE: drain-only output traffic
+        assert r.accesses["output"].stores == ctx.out_shape.elements
+
+    def test_layouts_are_inter_order(self, cfg16):
+        from repro.tiling.layout import Layout
+
+        r = make_scheme("inter").schedule(make_ctx(), cfg16)
+        assert r.input_layout is Layout.INTER
+        assert r.output_layout is Layout.INTER
+
+    def test_dram_matches_fills_plus_drain(self, cfg16, all_networks):
+        for net in all_networks:
+            for ctx in net.conv_contexts():
+                r = make_scheme("inter").schedule(ctx, cfg16)
+                fills = r.accesses["input"].stores + r.accesses["weight"].stores
+                assert r.dram_words == fills + ctx.out_shape.elements, (
+                    net.name,
+                    ctx.name,
+                )

@@ -1,0 +1,87 @@
+"""Improved inter-kernel tests (Sec 4.2.2): same cycles, less traffic."""
+
+import pytest
+
+from repro.schemes import make_scheme
+
+from tests.conftest import make_ctx
+
+
+def top_layer_ctx():
+    """A VGG-ish top layer: many maps, small kernel."""
+    return make_ctx(in_maps=128, out_maps=128, kernel=3, pad=1, hw=14)
+
+
+class TestPerformanceParity:
+    def test_same_cycles_as_original(self, cfg16, all_networks):
+        """'adpa-1 and adpa-2 are the same on performance'."""
+        inter = make_scheme("inter")
+        improved = make_scheme("inter-improved")
+        for net in all_networks:
+            for ctx in net.conv_contexts():
+                assert (
+                    improved.schedule(ctx, cfg16).operations
+                    == inter.schedule(ctx, cfg16).operations
+                ), (net.name, ctx.name)
+
+    def test_same_utilization(self, cfg16):
+        ctx = top_layer_ctx()
+        assert (
+            make_scheme("inter-improved").schedule(ctx, cfg16).utilization
+            == make_scheme("inter").schedule(ctx, cfg16).utilization
+        )
+
+
+class TestTrafficTradeoff:
+    def test_weights_loaded_exactly_once(self, cfg16):
+        ctx = top_layer_ctx()
+        r = make_scheme("inter-improved").schedule(ctx, cfg16)
+        assert r.accesses["weight"].loads == 9 * 128 * 128
+
+    def test_weight_load_savings_factor(self, cfg16):
+        """The savings the paper quotes: ~X*Y*Dout*k*k*Din/Tin load ops."""
+        ctx = top_layer_ctx()
+        orig = make_scheme("inter").schedule(ctx, cfg16)
+        impr = make_scheme("inter-improved").schedule(ctx, cfg16)
+        saved = orig.accesses["weight"].loads - impr.accesses["weight"].loads
+        out_pixels = ctx.out_shape.height * ctx.out_shape.width
+        assert saved == (out_pixels - 1) * 9 * 128 * 128
+
+    def test_extra_stores_per_partial_sum_pass(self, cfg16):
+        """'induces X*Y*Dout*k*k more store operations' (x Din chunks)."""
+        ctx = top_layer_ctx()
+        r = make_scheme("inter-improved").schedule(ctx, cfg16)
+        passes = 9 * 8  # k*k * ceil(128/16)
+        assert r.accesses["output"].stores == ctx.out_shape.elements * passes
+
+    def test_partial_sums_reloaded(self, cfg16):
+        ctx = top_layer_ctx()
+        r = make_scheme("inter-improved").schedule(ctx, cfg16)
+        passes = 9 * 8
+        # (passes - 1) accumulation reloads + 1 final drain
+        assert r.accesses["output"].loads == ctx.out_shape.elements * passes
+
+    def test_extra_adds_recorded(self, cfg16):
+        ctx = top_layer_ctx()
+        r = make_scheme("inter-improved").schedule(ctx, cfg16)
+        assert r.extra_adds == ctx.out_shape.elements * (9 * 8 - 1)
+
+    def test_net_traffic_reduction_on_top_layers(self, cfg16):
+        """'Since Din is always much bigger than Tin in top layers, this
+        method dramatically decreases buffer bandwidth occupancy'."""
+        ctx = top_layer_ctx()
+        orig = make_scheme("inter").schedule(ctx, cfg16)
+        impr = make_scheme("inter-improved").schedule(ctx, cfg16)
+        assert impr.buffer_accesses < orig.buffer_accesses / 3
+
+    def test_no_benefit_needed_for_tiny_dout(self, cfg16):
+        """Sanity: the scheme stays legal on bottom layers too."""
+        ctx = make_ctx(in_maps=3, out_maps=8, kernel=11, stride=4, hw=35)
+        r = make_scheme("inter-improved").schedule(ctx, cfg16)
+        assert r.operations > 0
+
+    def test_data_loads_unchanged(self, cfg16):
+        ctx = top_layer_ctx()
+        orig = make_scheme("inter").schedule(ctx, cfg16)
+        impr = make_scheme("inter-improved").schedule(ctx, cfg16)
+        assert impr.accesses["input"].loads == orig.accesses["input"].loads

@@ -1,0 +1,142 @@
+"""Kernel-partitioning scheme tests (Sec 4.2.1 / Algorithm 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32
+from repro.errors import ScheduleError
+from repro.schemes import make_scheme
+from repro.tiling.layout import Layout
+
+from tests.conftest import make_ctx
+
+
+class TestLegality:
+    def test_rejects_k_equal_s(self, cfg16):
+        with pytest.raises(ScheduleError):
+            make_scheme("partition").schedule(
+                make_ctx(kernel=2, stride=2, hw=16), cfg16
+            )
+
+    def test_rejects_1x1(self, cfg16):
+        with pytest.raises(ScheduleError):
+            make_scheme("partition").schedule(make_ctx(kernel=1), cfg16)
+
+    def test_accepts_all_k_gt_s(self, cfg16):
+        for k, s in [(11, 4), (7, 2), (5, 1), (3, 1), (3, 2)]:
+            ctx = make_ctx(in_maps=3, out_maps=8, kernel=k, stride=s, hw=24)
+            r = make_scheme("partition").schedule(ctx, cfg16)
+            assert r.operations > 0
+
+
+class TestConv1Cycles:
+    def test_alexnet_conv1_formula(self, alexnet_conv1_ctx, cfg16):
+        """9 pieces x 3 maps x 6 output chunks x 3025 window scans."""
+        r = make_scheme("partition").schedule(alexnet_conv1_ctx, cfg16)
+        # ks = 4, ks^2 = 16 = Tin: one window per op
+        assert r.operations == 9 * 3 * 6 * 3025
+
+    def test_alexnet_conv1_near_ideal(self, alexnet_conv1_ctx, cfg16):
+        """Fig. 7: partition 'almost reaches the upper bound performance';
+        the only overhead is the 144/121 zero-padding factor."""
+        part = make_scheme("partition").schedule(alexnet_conv1_ctx, cfg16)
+        ideal = make_scheme("ideal").schedule(alexnet_conv1_ctx, cfg16)
+        ratio = part.total_cycles / ideal.total_cycles
+        assert 1.0 <= ratio < 1.3
+
+    def test_multiple_windows_per_op_on_wider_array(self, alexnet_conv1_ctx):
+        r16 = make_scheme("partition").schedule(alexnet_conv1_ctx, CONFIG_16_16)
+        r32 = make_scheme("partition").schedule(alexnet_conv1_ctx, CONFIG_32_32)
+        assert r16.notes["windows_per_op"] == 1
+        assert r32.notes["windows_per_op"] == 2
+        # twice the windows per op -> about half the scan operations
+        assert r32.operations < 0.7 * r16.operations
+
+    def test_sub_window_larger_than_tin(self):
+        """ks^2 > Tin: a window takes several operations."""
+        from repro.arch.config import AcceleratorConfig
+
+        tiny = AcceleratorConfig(tin=8, tout=8)
+        ctx = make_ctx(in_maps=3, out_maps=8, kernel=11, stride=4, hw=35)
+        r = make_scheme("partition").schedule(ctx, tiny)
+        # ks^2 = 16 -> 2 ops per window
+        out_pixels = ctx.out_shape.height * ctx.out_shape.width
+        assert r.operations == 9 * 3 * 1 * out_pixels * 2
+
+    def test_beats_inter_on_all_conv1(self, all_networks, cfg16):
+        """The headline: partition >> inter for the critical bottom layers."""
+        for net in all_networks:
+            ctx = net.conv1()
+            part = make_scheme("partition").schedule(ctx, cfg16)
+            inter = make_scheme("inter").schedule(ctx, cfg16)
+            assert inter.total_cycles > 2.0 * part.total_cycles, net.name
+
+
+class TestTraffic:
+    def test_weight_loads_cover_padded_grid_once(self, alexnet_conv1_ctx, cfg16):
+        r = make_scheme("partition").schedule(alexnet_conv1_ctx, cfg16)
+        # 9 pieces x 16 padded weights x 3 maps x 96 outputs
+        assert r.accesses["weight"].loads == 9 * 16 * 3 * 96
+
+    def test_add_and_store_per_piece_and_map(self, alexnet_conv1_ctx, cfg16):
+        """Algorithm 1 lines 7-8: the output buffer accumulates G*d passes."""
+        r = make_scheme("partition").schedule(alexnet_conv1_ctx, cfg16)
+        out_elements = 96 * 55 * 55
+        assert r.accesses["output"].stores == out_elements * 27
+        assert r.extra_adds == out_elements * 26
+
+    def test_top_layer_output_traffic_explodes(self, cfg16):
+        """Why partition is wrong for top layers: G*d passes with d large."""
+        top = make_ctx(in_maps=128, out_maps=128, kernel=3, pad=1, hw=14)
+        part = make_scheme("partition").schedule(top, cfg16)
+        impr = make_scheme("inter-improved").schedule(top, cfg16)
+        assert part.accesses["output"].total > 5 * impr.accesses["output"].total
+
+    def test_window_data_loads(self, alexnet_conv1_ctx, cfg16):
+        r = make_scheme("partition").schedule(alexnet_conv1_ctx, cfg16)
+        # per scan: 3025 windows x 16 words; scans = 9 pieces x 3 maps x 6 chunks
+        assert r.accesses["input"].loads == 9 * 3 * 6 * 3025 * 16
+
+    def test_dram_includes_partition_padding_only(self, alexnet_conv1_ctx, cfg16):
+        r = make_scheme("partition").schedule(alexnet_conv1_ctx, cfg16)
+        padded_input = 3 * 228 * 228
+        padded_weights = 9 * 16 * 3 * 96
+        out = 96 * 55 * 55
+        assert r.dram_words == padded_input + padded_weights + out
+
+    def test_layouts_are_intra_order(self, cfg16):
+        r = make_scheme("partition").schedule(make_ctx(kernel=3, stride=1), cfg16)
+        assert r.input_layout is Layout.INTRA
+        assert r.output_layout is Layout.INTRA
+
+
+class TestProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        k=st.integers(2, 11),
+        s=st.integers(1, 4),
+        d=st.integers(1, 8),
+        dout=st.sampled_from([8, 16, 24]),
+        hw=st.integers(16, 40),
+    )
+    def test_cycles_at_least_padded_ideal(self, k, s, d, dout, hw):
+        """Partition ops always cover the padded-MAC lower bound."""
+        if s >= k or k > hw:
+            return
+        ctx = make_ctx(in_maps=d, out_maps=dout, kernel=k, stride=s, hw=hw)
+        r = make_scheme("partition").schedule(ctx, CONFIG_16_16)
+        padded_macs = r.useful_macs * r.notes["pad_overhead"]
+        assert r.operations * CONFIG_16_16.multipliers >= padded_macs * 0.99
+
+    @settings(deadline=None, max_examples=40)
+    @given(k=st.integers(2, 9), s=st.integers(1, 4), hw=st.integers(16, 48))
+    def test_pieces_note_matches_geometry(self, k, s, hw):
+        if s >= k or k > hw:
+            return
+        ctx = make_ctx(in_maps=3, out_maps=8, kernel=k, stride=s, hw=hw)
+        r = make_scheme("partition").schedule(ctx, CONFIG_16_16)
+        assert r.notes["pieces"] == math.ceil(k / s) ** 2
+        assert r.notes["sub_kernel"] == s

@@ -1,0 +1,82 @@
+"""2D-PE mesh scheme tests (Sec 4.1.2 approach 3, the extension scheme)."""
+
+import math
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.schemes import make_scheme
+
+from tests.conftest import make_ctx
+
+
+class TestCycles:
+    def test_stride1_vision_layer_is_efficient(self, cfg16):
+        """The paper: 'very effective when dealing with specific network
+        topology in vision processing' — a stride-1 map that tiles the mesh
+        exactly runs near the ideal bound."""
+        ctx = make_ctx(in_maps=8, out_maps=16, kernel=3, pad=1, hw=16)
+        r = make_scheme("pe2d").schedule(ctx, cfg16)
+        ideal = make_scheme("ideal").schedule(ctx, cfg16)
+        assert r.operations <= 1.05 * ideal.operations
+
+    def test_stride_breaks_propagation(self, cfg16):
+        """Stride-s layers stall the supply network by a factor s."""
+        s1 = make_scheme("pe2d").schedule(
+            make_ctx(in_maps=3, out_maps=8, kernel=5, stride=1, hw=37), cfg16
+        )
+        s4 = make_scheme("pe2d").schedule(
+            make_ctx(in_maps=3, out_maps=8, kernel=5, stride=4, hw=37), cfg16
+        )
+        assert s4.notes["stride_stall_factor"] == 4
+        assert s1.notes["stride_stall_factor"] == 1
+        # per useful MAC, the strided layer is ~4x more expensive
+        cost1 = s1.operations / s1.useful_macs
+        cost4 = s4.operations / s4.useful_macs
+        assert cost4 > 3.0 * cost1
+
+    def test_tile_quantization(self, cfg16):
+        """A 13x13 output map uses 169/256 of a 16x16 mesh."""
+        ctx = make_ctx(in_maps=16, out_maps=16, kernel=3, pad=1, hw=13)
+        r = make_scheme("pe2d").schedule(ctx, cfg16)
+        assert r.notes["tiles"] == 1
+        assert r.utilization == pytest.approx(169 / 256)
+
+    def test_alexnet_conv1_much_worse_than_partition(self, alexnet_conv1_ctx, cfg16):
+        """The degradation the adaptive design exists to avoid: the rigid
+        mesh loses badly on the strided bottom layer."""
+        mesh = make_scheme("pe2d").schedule(alexnet_conv1_ctx, cfg16)
+        part = make_scheme("partition").schedule(alexnet_conv1_ctx, cfg16)
+        assert mesh.total_cycles > 3.0 * part.total_cycles
+
+    def test_operations_formula(self, cfg16):
+        ctx = make_ctx(in_maps=4, out_maps=8, kernel=3, pad=1, hw=20)
+        r = make_scheme("pe2d").schedule(ctx, cfg16)
+        tiles = math.ceil(20 / 16) * math.ceil(20 / 16)
+        assert r.operations == tiles * 9 * 4 * 8  # stride 1, no stall
+
+
+class TestTraffic:
+    def test_input_streamed_once_per_output_map(self, cfg16):
+        """The mesh's selling point: inter-PE propagation means each input
+        word is read once per output-map pass, not once per window."""
+        ctx = make_ctx(in_maps=4, out_maps=8, kernel=3, pad=1, hw=20)
+        r = make_scheme("pe2d").schedule(ctx, cfg16)
+        assert r.accesses["input"].loads == ctx.in_shape.elements * 8
+
+    def test_less_input_traffic_than_inter(self, cfg16):
+        ctx = make_ctx(in_maps=16, out_maps=16, kernel=5, pad=2, hw=24)
+        mesh = make_scheme("pe2d").schedule(ctx, cfg16)
+        inter = make_scheme("inter").schedule(ctx, cfg16)
+        assert mesh.accesses["input"].loads < inter.accesses["input"].loads
+
+    def test_weights_broadcast_once(self, cfg16):
+        ctx = make_ctx(in_maps=4, out_maps=8, kernel=3, pad=1, hw=20)
+        r = make_scheme("pe2d").schedule(ctx, cfg16)
+        assert r.accesses["weight"].loads == 9 * 4 * 8
+
+    def test_utilization_bounds(self, all_networks, cfg16):
+        for net in all_networks:
+            for ctx in net.conv_contexts():
+                r = make_scheme("pe2d").schedule(ctx, cfg16)
+                assert 0 < r.utilization <= 1.0, (net.name, ctx.name)

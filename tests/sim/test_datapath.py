@@ -1,0 +1,124 @@
+"""Bit-exact integer datapath tests: scheme orders are identical in hardware."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.fixedpoint import Q7_8, FixedPointFormat, dequantize, quantize
+from repro.errors import ShapeError
+from repro.sim.datapath import (
+    conv_codes_direct,
+    conv_codes_inter_improved,
+    conv_codes_partitioned,
+    requantize,
+    saturate,
+)
+
+
+def random_codes(k, din, dout, hw, seed=0):
+    rng = np.random.default_rng(seed)
+    data = quantize(rng.uniform(-2, 2, (din, hw, hw)))
+    weights = quantize(rng.uniform(-1, 1, (dout, din, k, k)))
+    bias = quantize(rng.uniform(-1, 1, dout))
+    return data, weights, bias
+
+
+class TestPrimitives:
+    def test_saturate(self):
+        codes = np.array([40000, -40000, 100])
+        out = saturate(codes)
+        assert out.tolist() == [Q7_8.max_int, Q7_8.min_int, 100]
+
+    def test_requantize_rounds_half_away(self):
+        fmt = FixedPointFormat(16, 8)
+        # 1.5 in 2n-fraction accumulator units = 1.5 * 256 codes... the
+        # accumulator holds products with 16 fraction bits; 1.5 output LSBs
+        acc = np.array([384 << 8, -(384 << 8)])  # +-1.5 in Q.16 terms
+        out = requantize(acc, fmt)
+        assert out.tolist() == [384, -384]
+        half = np.array([1 << 7, -(1 << 7)])  # exactly +-0.5 LSB
+        assert requantize(half, fmt).tolist() == [1, -1]
+
+    def test_requantize_saturates(self):
+        acc = np.array([10**12, -(10**12)])
+        out = requantize(acc)
+        assert out.tolist() == [Q7_8.max_int, Q7_8.min_int]
+
+
+class TestBitExactEquivalence:
+    """Integer addition is associative: all orders give identical codes."""
+
+    @pytest.mark.parametrize(
+        "k,s,pad,din,dout,hw",
+        [
+            (11, 4, 0, 3, 4, 35),
+            (5, 1, 2, 4, 4, 13),
+            (3, 1, 1, 2, 6, 9),
+            (7, 2, 3, 3, 4, 21),
+            (3, 2, 0, 2, 4, 9),
+        ],
+    )
+    def test_partitioned_identical(self, k, s, pad, din, dout, hw):
+        data, weights, bias = random_codes(k, din, dout, hw)
+        direct = conv_codes_direct(data, weights, bias, s, pad)
+        part = conv_codes_partitioned(data, weights, bias, s, pad)
+        assert np.array_equal(direct, part)
+
+    @pytest.mark.parametrize(
+        "k,s,pad", [(3, 1, 1), (5, 2, 0), (1, 1, 0)]
+    )
+    def test_inter_improved_identical(self, k, s, pad):
+        data, weights, bias = random_codes(k, 3, 4, 12)
+        direct = conv_codes_direct(data, weights, bias, s, pad)
+        impr = conv_codes_inter_improved(data, weights, bias, s, pad)
+        assert np.array_equal(direct, impr)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        k=st.integers(2, 6),
+        s=st.integers(1, 3),
+        pad=st.integers(0, 1),
+        din=st.integers(1, 3),
+        dout=st.integers(1, 4),
+        hw=st.integers(7, 13),
+        seed=st.integers(0, 5000),
+    )
+    def test_property_all_orders(self, k, s, pad, din, dout, hw, seed):
+        if s >= k or k > hw + 2 * pad:
+            return
+        data, weights, bias = random_codes(k, din, dout, hw, seed=seed)
+        direct = conv_codes_direct(data, weights, bias, s, pad)
+        assert np.array_equal(
+            direct, conv_codes_partitioned(data, weights, bias, s, pad)
+        )
+        assert np.array_equal(
+            direct, conv_codes_inter_improved(data, weights, bias, s, pad)
+        )
+
+
+class TestAgainstFloatReference:
+    def test_matches_quantized_float_within_rounding(self):
+        """The integer datapath equals the float computation on dequantized
+        operands up to one output LSB (the single requantize round)."""
+        from repro.sim.functional import reference_conv
+
+        data, weights, bias = random_codes(3, 2, 4, 9, seed=7)
+        int_out = conv_codes_direct(data, weights, bias, 1, 1)
+        float_out = reference_conv(
+            dequantize(data), dequantize(weights), dequantize(bias), 1, 1
+        )
+        err = np.abs(dequantize(int_out) - float_out)
+        assert err.max() <= Q7_8.resolution
+
+    def test_saturation_engages_on_hot_inputs(self):
+        data = np.full((4, 6, 6), Q7_8.max_int, dtype=np.int64)
+        weights = np.full((1, 4, 3, 3), Q7_8.max_int, dtype=np.int64)
+        out = conv_codes_direct(data, weights, None, 1, 0)
+        assert np.all(out == Q7_8.max_int)
+
+    def test_shape_errors(self):
+        with pytest.raises(ShapeError):
+            conv_codes_direct(np.zeros((2, 4, 4)), np.zeros((1, 3, 3, 3)), None)
+        with pytest.raises(ShapeError):
+            conv_codes_direct(np.zeros((2, 4)), np.zeros((1, 2, 3, 3)), None)

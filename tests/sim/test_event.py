@@ -1,0 +1,88 @@
+"""Event-driven pipeline simulator tests.
+
+The key result: the analytical ``max(compute, stream)`` timing model is the
+*limit* of the explicit double-buffered pipeline as the pass count grows —
+the event simulator converges onto it from the serialized side.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.adaptive import plan_network
+from repro.arch.config import CONFIG_16_16
+from repro.errors import ConfigError
+from repro.sim.event import simulate_layer, simulate_run
+
+
+class TestSimulateLayer:
+    def test_invalid_passes(self, alexnet, cfg16):
+        result = plan_network(alexnet, cfg16, "adaptive-2").layers[0]
+        with pytest.raises(ConfigError):
+            simulate_layer(result, passes=0)
+
+    def test_single_pass_serializes(self, alexnet, cfg16):
+        """With one pass nothing overlaps: total ~= compute + stream."""
+        result = plan_network(alexnet, cfg16, "adaptive-2").layers[1]
+        timeline = simulate_layer(result, passes=1)
+        serial = result.operations + result.stream_cycles
+        assert timeline.total_cycles == pytest.approx(serial, rel=0.02)
+
+    def test_timeline_is_causally_ordered(self, alexnet, cfg16):
+        result = plan_network(alexnet, cfg16, "adaptive-2").layers[0]
+        timeline = simulate_layer(result, passes=8)
+        prev_fill, prev_compute = -1.0, -1.0
+        for p in timeline.passes:
+            assert p.fill_start <= p.fill_done
+            assert p.fill_done <= p.compute_start + 1e-9
+            assert p.compute_start <= p.compute_done
+            assert p.fill_done >= prev_fill
+            assert p.compute_done >= prev_compute
+            prev_fill, prev_compute = p.fill_done, p.compute_done
+
+    def test_never_faster_than_either_engine(self, alexnet, cfg16):
+        for result in plan_network(alexnet, cfg16, "intra").layers:
+            timeline = simulate_layer(result, passes=16)
+            assert timeline.total_cycles >= result.operations
+            # inbound stream is serial on the DMA/host engines
+            inbound = result.dram_words - max(
+                0,
+                result.dram_words
+                - result.accesses["input"].stores
+                - result.accesses["weight"].stores,
+            )
+            assert (
+                timeline.total_cycles
+                >= inbound / cfg16.dram_words_per_cycle - 1e-6
+            )
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("netname", ["alexnet", "vgg"])
+    @pytest.mark.parametrize("policy", ["adaptive-2", "inter"])
+    def test_monotone_in_passes(self, netname, policy, request, cfg16):
+        net = request.getfixturevalue(netname)
+        run = plan_network(net, cfg16, policy)
+        previous = float("inf")
+        for passes in (1, 2, 4, 8, 16, 32):
+            current = simulate_run(run, passes)
+            assert current <= previous * 1.0001, passes
+            previous = current
+
+    @pytest.mark.parametrize("netname", ["alexnet", "googlenet", "vgg", "nin"])
+    def test_converges_to_analytical_model(self, netname, request, cfg16):
+        """Deep pipelining lands within a few percent of max(compute, stream)
+        — from above for startup bubbles, slightly below where output
+        drains hide behind the next layer's compute."""
+        net = request.getfixturevalue(netname)
+        run = plan_network(net, cfg16, "adaptive-2")
+        event = simulate_run(run, passes=64)
+        assert 0.97 < event / run.total_cycles < 1.05
+
+    def test_serialized_limit_matches_overlap_off_config(self, alexnet):
+        """passes=1 event sim ~= the overlap_streams=False analytical model."""
+        serial_cfg = dataclasses.replace(CONFIG_16_16, overlap_streams=False)
+        run_overlap = plan_network(alexnet, CONFIG_16_16, "adaptive-2")
+        run_serial = plan_network(alexnet, serial_cfg, "adaptive-2")
+        event_1pass = simulate_run(run_overlap, passes=1)
+        assert event_1pass == pytest.approx(run_serial.total_cycles, rel=0.05)

@@ -1,0 +1,126 @@
+"""Loop-nest enumeration vs analytical counts — the third derivation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import AcceleratorConfig, CONFIG_16_16
+from repro.errors import ScheduleError
+from repro.schemes import make_scheme
+from repro.sim.loopnest import (
+    enumerate_inter,
+    enumerate_intra,
+    enumerate_partition,
+    touched_input_positions,
+)
+
+from tests.conftest import make_ctx
+
+ENUMERATORS = {
+    "inter": enumerate_inter,
+    "intra": enumerate_intra,
+    "partition": enumerate_partition,
+}
+
+SMALL_CASES = [
+    # k, s, d, dout, hw, groups
+    (3, 1, 4, 8, 8, 1),
+    (5, 2, 3, 4, 11, 1),
+    (11, 4, 3, 4, 19, 1),
+    (2, 2, 8, 8, 8, 1),
+    (1, 1, 20, 8, 5, 1),
+    (3, 1, 4, 8, 8, 2),
+    (7, 3, 2, 4, 14, 1),
+]
+
+
+def small_ctx(k, s, d, dout, hw, groups):
+    return make_ctx(in_maps=d, out_maps=dout, kernel=k, stride=s, hw=hw, groups=groups)
+
+
+class TestCountsMatchAnalytical:
+    @pytest.mark.parametrize("case", SMALL_CASES)
+    @pytest.mark.parametrize("scheme", ["inter", "intra", "partition"])
+    def test_operation_count(self, case, scheme):
+        ctx = small_ctx(*case)
+        config = CONFIG_16_16
+        try:
+            analytical = make_scheme(scheme).schedule(ctx, config)
+        except ScheduleError:
+            with pytest.raises(ScheduleError):
+                list(ENUMERATORS[scheme](ctx, config))
+            return
+        ops = list(ENUMERATORS[scheme](ctx, config))
+        assert len(ops) == analytical.operations, (case, scheme)
+
+    @pytest.mark.parametrize("case", SMALL_CASES)
+    @pytest.mark.parametrize("scheme", ["inter", "intra", "partition"])
+    def test_useful_macs_sum(self, case, scheme):
+        """Especially sharp for partition: pad slots are counted as array
+        work but not as useful MACs, and the totals must still balance."""
+        ctx = small_ctx(*case)
+        config = CONFIG_16_16
+        try:
+            ops = list(ENUMERATORS[scheme](ctx, config))
+        except ScheduleError:
+            return
+        assert sum(op.useful_macs for op in ops) == ctx.macs, (case, scheme)
+
+    @pytest.mark.parametrize("case", SMALL_CASES)
+    @pytest.mark.parametrize("scheme", ["inter", "intra", "partition"])
+    def test_physical_limits(self, case, scheme):
+        ctx = small_ctx(*case)
+        config = CONFIG_16_16
+        try:
+            ops = list(ENUMERATORS[scheme](ctx, config))
+        except ScheduleError:
+            return
+        peak = config.tin * config.tout
+        for op in ops:
+            assert len(op.data) <= config.tin
+            assert op.weight_count <= peak
+            assert op.useful_macs <= peak
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("case", SMALL_CASES[:4])
+    @pytest.mark.parametrize("scheme", ["inter", "intra"])
+    def test_exact_input_coverage(self, case, scheme):
+        """inter/intra touch exactly the layer's receptive positions."""
+        ctx = small_ctx(*case)
+        ops = list(ENUMERATORS[scheme](ctx, CONFIG_16_16))
+        touched = set()
+        for op in ops:
+            touched |= op.data
+        assert touched == touched_input_positions(ctx)
+
+    def test_partition_covers_superset_with_padding(self):
+        """partition touches all real positions plus the zero-pad fringe."""
+        ctx = small_ctx(11, 4, 3, 4, 19, 1)
+        ops = list(enumerate_partition(ctx, CONFIG_16_16))
+        touched = set()
+        for op in ops:
+            touched |= op.data
+        assert touched >= touched_input_positions(ctx)
+
+
+class TestProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        k=st.integers(2, 6),
+        s=st.integers(1, 3),
+        d=st.integers(1, 6),
+        dout=st.integers(1, 10),
+        hw=st.integers(6, 12),
+        tin=st.sampled_from([4, 8, 16]),
+        tout=st.sampled_from([4, 8]),
+    )
+    def test_partition_enumeration_matches_any_array(self, k, s, d, dout, hw, tin, tout):
+        if s >= k or k > hw:
+            return
+        ctx = make_ctx(in_maps=d, out_maps=dout, kernel=k, stride=s, hw=hw)
+        config = AcceleratorConfig(tin=tin, tout=tout)
+        analytical = make_scheme("partition").schedule(ctx, config)
+        ops = list(enumerate_partition(ctx, config))
+        assert len(ops) == analytical.operations
+        assert sum(op.useful_macs for op in ops) == ctx.macs

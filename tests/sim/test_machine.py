@@ -1,0 +1,173 @@
+"""Machine (instruction interpreter) tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.instructions import Instruction, Opcode, Program
+from repro.sim.machine import Machine
+
+
+def prog(*instructions) -> Program:
+    p = Program("test")
+    for inst in instructions:
+        p.emit(inst)
+    return p
+
+
+class TestDispatch:
+    def test_compute_tallies_pe(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.COMPUTE, operations=100, macs=25600),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.compute_cycles == 100
+        assert res.useful_macs == 25600
+        assert res.utilization == pytest.approx(1.0)
+
+    def test_buffer_reads_and_writes_counted(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.BUF_READ_INPUT, words=10),
+                Instruction(Opcode.BUF_READ_WEIGHT, words=20),
+                Instruction(Opcode.BUF_WRITE_OUTPUT, words=5),
+                Instruction(Opcode.BUF_READ_OUTPUT, words=3),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.accesses["input"].loads == 10
+        assert res.accesses["weight"].loads == 20
+        assert res.accesses["output"].stores == 5
+        assert res.accesses["output"].loads == 3
+        assert res.buffer_accesses == 38
+
+    def test_dma_fills_count_as_buffer_stores(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.DMA_LOAD_INPUT, words=100),
+                Instruction(Opcode.DMA_LOAD_WEIGHT, words=50),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.accesses["input"].stores == 100
+        assert res.accesses["weight"].stores == 50
+        assert res.dram_words == 150
+
+    def test_output_drain_counts_as_buffer_load(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.DMA_STORE_OUTPUT, words=40),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.accesses["output"].loads == 40
+        assert res.dram_words == 40
+
+    def test_overcommitted_compute_rejected(self, cfg16):
+        m = Machine(cfg16)
+        with pytest.raises(ConfigError):
+            m.execute(prog(Instruction(Opcode.COMPUTE, operations=1, macs=999)))
+
+
+class TestTiming:
+    def test_compute_bound_region(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.DMA_LOAD_INPUT, words=40),  # 10 dma cycles
+                Instruction(Opcode.COMPUTE, operations=1000, macs=0),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.total_cycles == 1000
+
+    def test_memory_bound_region(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.DMA_LOAD_INPUT, words=8000),  # 2000 cycles
+                Instruction(Opcode.COMPUTE, operations=100, macs=0),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.total_cycles == 2000
+
+    def test_host_reshape_bounds_region(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.HOST_RESHAPE, words=5000),
+                Instruction(Opcode.DMA_LOAD_INPUT, words=400),
+                Instruction(Opcode.COMPUTE, operations=100, macs=0),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.total_cycles == 5000
+
+    def test_regions_sum(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.COMPUTE, operations=100, macs=0),
+                Instruction(Opcode.SYNC),
+                Instruction(Opcode.COMPUTE, operations=200, macs=0),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.total_cycles == 300
+        assert len(res.regions) == 2
+
+    def test_unterminated_region_still_counted(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(prog(Instruction(Opcode.COMPUTE, operations=77, macs=0)))
+        assert res.total_cycles == 77
+
+    def test_accumulate_off_critical_path(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.COMPUTE, operations=10, macs=0),
+                Instruction(Opcode.ACCUMULATE, operations=1_000_000),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        assert res.total_cycles == 10
+        assert res.extra_adds == 1_000_000
+
+    def test_reset_between_programs(self, cfg16):
+        m = Machine(cfg16)
+        m.execute(prog(Instruction(Opcode.COMPUTE, operations=10, macs=0)))
+        res = m.execute(prog(Instruction(Opcode.COMPUTE, operations=5, macs=0)))
+        assert res.compute_cycles == 5
+
+
+class TestResultHelpers:
+    def test_milliseconds(self, cfg16):
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(Instruction(Opcode.COMPUTE, operations=1_000_000, macs=0))
+        )
+        assert res.milliseconds() == pytest.approx(1.0)
+
+    def test_energy_consistent_with_model(self, cfg16):
+        from repro.arch.energy import EnergyModel
+
+        m = Machine(cfg16)
+        res = m.execute(
+            prog(
+                Instruction(Opcode.COMPUTE, operations=100, macs=25600),
+                Instruction(Opcode.BUF_READ_INPUT, words=1000),
+                Instruction(Opcode.SYNC),
+            )
+        )
+        bd = res.energy()
+        model = EnergyModel(cfg16)
+        assert bd.pe_pj == pytest.approx(model.pe_energy_pj(100))
+        assert bd.input_buffer_pj == pytest.approx(
+            1000 * model.buffer_access_pj("input")
+        )

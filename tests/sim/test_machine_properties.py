@@ -1,0 +1,141 @@
+"""Property/fuzz tests for the machine: random programs, exact accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import CONFIG_16_16
+from repro.isa.instructions import Instruction, Opcode, Program
+from repro.sim.machine import Machine
+
+_TRANSFER_OPS = [
+    Opcode.DMA_LOAD_INPUT,
+    Opcode.DMA_LOAD_WEIGHT,
+    Opcode.DMA_LOAD_BIAS,
+    Opcode.DMA_STORE_OUTPUT,
+    Opcode.BUF_READ_INPUT,
+    Opcode.BUF_READ_WEIGHT,
+    Opcode.BUF_READ_BIAS,
+    Opcode.BUF_READ_OUTPUT,
+    Opcode.BUF_WRITE_OUTPUT,
+    Opcode.HOST_RESHAPE,
+]
+
+
+def transfer_instruction():
+    return st.builds(
+        Instruction,
+        opcode=st.sampled_from(_TRANSFER_OPS),
+        words=st.integers(0, 10_000),
+    )
+
+
+def compute_instruction():
+    return st.integers(0, 1000).flatmap(
+        lambda ops: st.builds(
+            Instruction,
+            opcode=st.just(Opcode.COMPUTE),
+            operations=st.just(ops),
+            macs=st.integers(0, ops * CONFIG_16_16.multipliers),
+        )
+    )
+
+
+def any_instruction():
+    return st.one_of(
+        transfer_instruction(),
+        compute_instruction(),
+        st.builds(Instruction, opcode=st.just(Opcode.SYNC)),
+        st.builds(
+            Instruction,
+            opcode=st.just(Opcode.ACCUMULATE),
+            operations=st.integers(0, 10_000),
+        ),
+    )
+
+
+def program_from(instructions) -> Program:
+    p = Program("fuzz")
+    for inst in instructions:
+        p.emit(inst)
+    return p
+
+
+class TestAccountingExactness:
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(any_instruction(), max_size=60))
+    def test_totals_equal_operand_sums(self, instructions):
+        program = program_from(instructions)
+        result = Machine(CONFIG_16_16).execute(program)
+
+        expected_compute = sum(
+            i.operations for i in program if i.opcode is Opcode.COMPUTE
+        )
+        expected_macs = sum(i.macs for i in program if i.opcode is Opcode.COMPUTE)
+        expected_dram = sum(i.words for i in program if i.is_dma)
+        expected_adds = sum(
+            i.operations for i in program if i.opcode is Opcode.ACCUMULATE
+        )
+        assert result.compute_cycles == expected_compute
+        assert result.useful_macs == expected_macs
+        assert result.dram_words == expected_dram
+        assert result.extra_adds == expected_adds
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(any_instruction(), max_size=60))
+    def test_wall_clock_is_sum_of_region_maxima(self, instructions):
+        program = program_from(instructions)
+        machine = Machine(CONFIG_16_16)
+        result = machine.execute(program)
+        recomputed = sum(
+            r.wall_clock(CONFIG_16_16) for r in result.regions
+        )
+        assert result.total_cycles == recomputed
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(any_instruction(), max_size=40))
+    def test_wall_clock_bounds(self, instructions):
+        """Wall-clock is at least compute and at least total DMA time, and
+        at most their sum plus host cycles (regions serialize)."""
+        program = program_from(instructions)
+        result = Machine(CONFIG_16_16).execute(program)
+        dma_cycles = result.dram_words / CONFIG_16_16.dram_words_per_cycle
+        host = sum(
+            i.words for i in program if i.opcode is Opcode.HOST_RESHAPE
+        )
+        assert result.total_cycles >= result.compute_cycles
+        assert result.total_cycles >= dma_cycles - 1e-9
+        assert result.total_cycles <= result.compute_cycles + dma_cycles + host + 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.lists(any_instruction(), max_size=30))
+    def test_sync_placement_never_changes_totals(self, instructions):
+        """Extra SYNCs re-partition regions but cannot change the activity
+        totals (only the overlap, hence wall-clock may only grow)."""
+        base = program_from(instructions)
+        synced = Program("synced")
+        for inst in instructions:
+            synced.emit(inst)
+            synced.emit(Instruction(Opcode.SYNC))
+        a = Machine(CONFIG_16_16).execute(base)
+        b = Machine(CONFIG_16_16).execute(synced)
+        assert a.compute_cycles == b.compute_cycles
+        assert a.buffer_accesses == b.buffer_accesses
+        assert a.dram_words == b.dram_words
+        assert b.total_cycles >= a.total_cycles - 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.lists(any_instruction(), max_size=20),
+        st.lists(any_instruction(), max_size=20),
+    )
+    def test_concatenation_adds_activity(self, first, second):
+        pa = program_from(first)
+        pb = program_from(second)
+        combined = program_from(first + second)
+        machine = Machine(CONFIG_16_16)
+        a = machine.execute(pa)
+        b = machine.execute(pb)
+        c = machine.execute(combined)
+        assert c.compute_cycles == a.compute_cycles + b.compute_cycles
+        assert c.dram_words == a.dram_words + b.dram_words
+        assert c.buffer_accesses == a.buffer_accesses + b.buffer_accesses

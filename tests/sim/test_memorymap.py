@@ -1,0 +1,89 @@
+"""External-memory map allocator tests."""
+
+import pytest
+
+from repro.adaptive import plan_network
+from repro.errors import ConfigError
+from repro.sim.memorymap import Region, allocate_memory_map
+from repro.tiling.layout import Layout
+
+
+@pytest.fixture
+def alexnet_map(alexnet, cfg16):
+    run = plan_network(alexnet, cfg16, "adaptive-2")
+    return allocate_memory_map(alexnet, run)
+
+
+class TestRegion:
+    def test_overlap_detection(self):
+        a = Region("a", "weights", 0, 100, Layout.INTRA)
+        b = Region("b", "weights", 100, 50, Layout.INTRA)
+        c = Region("c", "weights", 99, 10, Layout.INTRA)
+        assert not a.overlaps(b)
+        assert a.overlaps(c)
+        assert c.overlaps(b)
+
+
+class TestAllocation:
+    def test_every_conv_gets_weights_and_output(self, alexnet, alexnet_map):
+        names = {r.name for r in alexnet_map.regions}
+        for ctx in alexnet.conv_contexts():
+            assert f"{ctx.name}/weights" in names
+            assert f"{ctx.name}/output" in names
+        assert "__input__" in names
+
+    def test_weight_region_sizes(self, alexnet, alexnet_map):
+        for ctx in alexnet.conv_contexts():
+            region = alexnet_map.region(f"{ctx.name}/weights")
+            assert region.words == ctx.weights
+
+    def test_no_overlaps(self, alexnet_map):
+        alexnet_map.validate()  # raises on violation
+
+    def test_bases_aligned(self, alexnet_map):
+        for r in alexnet_map.regions:
+            assert r.base % 64 == 0, r.name
+
+    def test_ping_pong_alternates(self, alexnet_map):
+        acts = alexnet_map.activation_regions()
+        bases = [r.base for r in acts]
+        # consecutive activations live in different arenas
+        for a, b in zip(bases, bases[1:]):
+            assert a != b
+
+    def test_arena_fits_largest_activation(self, alexnet, alexnet_map):
+        largest = max(
+            max(c.in_shape.elements, c.out_shape.elements)
+            for c in alexnet.conv_contexts()
+        )
+        assert alexnet_map.arena_words >= largest
+
+    def test_total_is_weights_plus_two_arenas(self, alexnet, alexnet_map):
+        weight_words = sum(r.words for r in alexnet_map.static_regions())
+        assert alexnet_map.total_words >= weight_words + 2 * alexnet_map.arena_words
+
+    def test_layouts_follow_plan(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        memory_map = allocate_memory_map(alexnet, run)
+        planned = {r.layer_name: r.output_layout for r in run.layers}
+        for ctx in alexnet.conv_contexts():
+            assert memory_map.region(f"{ctx.name}/output").layout is planned[ctx.name]
+
+    def test_invalid_alignment(self, alexnet, cfg16):
+        run = plan_network(alexnet, cfg16, "adaptive-2")
+        with pytest.raises(ConfigError):
+            allocate_memory_map(alexnet, run, alignment=0)
+
+    def test_ping_pong_beats_sum_allocation(self, vgg, cfg16):
+        """The point of the arenas: VGG's 30+ activations fit in two
+        arenas instead of the sum of all of them."""
+        run = plan_network(vgg, cfg16, "adaptive-2")
+        memory_map = allocate_memory_map(vgg, run)
+        sum_all = sum(c.out_shape.elements for c in vgg.conv_contexts())
+        # VGG's largest activation (conv1_x at 224^2 x 64) dominates the
+        # arena, so the saving is ~2.3x rather than the layer count
+        assert 2 * memory_map.arena_words < sum_all / 2
+
+    def test_unknown_region(self, alexnet_map):
+        with pytest.raises(KeyError):
+            alexnet_map.region("nope")

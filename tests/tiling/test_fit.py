@@ -1,0 +1,97 @@
+"""Buffer-fit / off-chip traffic tests (the VGG 8 MB story)."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import ReLULayer, TensorShape
+from repro.nn.network import LayerContext
+from repro.tiling.fit import analyze_fit, working_set
+
+from tests.conftest import make_ctx
+
+
+class TestWorkingSet:
+    def test_counts(self):
+        ctx = make_ctx(in_maps=4, out_maps=8, kernel=3, pad=1, hw=10)
+        ws = working_set(ctx)
+        assert ws.input_words == 400
+        assert ws.output_words == 800
+        assert ws.weight_words == 9 * 4 * 8
+        assert ws.total_words == 400 + 800 + 288
+
+    def test_grouped_weights(self):
+        plain = working_set(make_ctx(in_maps=4, out_maps=8, kernel=3, pad=1))
+        grouped = working_set(
+            make_ctx(in_maps=4, out_maps=8, kernel=3, pad=1, groups=2)
+        )
+        assert grouped.weight_words == plain.weight_words // 2
+
+    def test_non_conv_rejected(self):
+        layer = ReLULayer("r")
+        shape = TensorShape(1, 2, 2)
+        with pytest.raises(ShapeError):
+            working_set(LayerContext(layer, shape, shape))
+
+
+class TestAnalyzeFit:
+    def test_small_layer_fits(self, cfg16):
+        report = analyze_fit(make_ctx(), cfg16)
+        assert report.everything_fits
+        assert report.spill_words == 0
+        assert report.weight_passes == 1
+        assert report.input_strips == 1
+        assert report.total_traffic_words == report.compulsory_words
+
+    def test_alexnet_activations_fit(self, alexnet, cfg16):
+        """AlexNet activations stay on chip; only conv3/conv4 weights
+        (1.7 MB / 1.3 MB vs the 1 MB weight buffer) need two passes."""
+        for ctx in alexnet.conv_contexts():
+            report = analyze_fit(ctx, cfg16)
+            assert report.input_fits, ctx.name
+            assert report.output_fits, ctx.name
+            assert report.weight_passes <= 2, ctx.name
+
+    def test_vgg_bottom_layers_overflow(self, vgg, cfg16):
+        """Paper: 'the biggest layer need 8M buffer, so we have to exchange
+        data frequently between on-chip buffer and off-chip memory'."""
+        ctx = vgg.conv_contexts()[1]  # conv1_2: 64 x 224 x 224 in AND out
+        report = analyze_fit(ctx, cfg16)
+        assert not report.input_fits
+        assert not report.output_fits
+        assert report.input_strips > 1
+        assert report.spill_words > 0
+
+    def test_vgg_top_layer_weights_overflow(self, vgg, cfg16):
+        # conv5_x: 3*3*512*512 = 2.36M words > 512K-word weight buffer
+        ctx = vgg.conv_contexts()[-1]
+        report = analyze_fit(ctx, cfg16)
+        assert not report.weight_fits
+        assert report.weight_passes > 1
+        # each extra weight pass re-streams the input
+        assert report.spill_words >= (report.weight_passes - 1) * ctx.in_shape.elements
+
+    def test_halo_scales_with_kernel_minus_stride(self, cfg16):
+        # force striping with a big input, compare k=3 vs k=5 halo
+        small_k = analyze_fit(
+            make_ctx(in_maps=8, out_maps=8, kernel=3, pad=1, hw=600), cfg16
+        )
+        big_k = analyze_fit(
+            make_ctx(in_maps=8, out_maps=8, kernel=5, pad=2, hw=600), cfg16
+        )
+        assert small_k.input_strips == big_k.input_strips > 1
+        assert big_k.spill_words > small_k.spill_words
+
+    def test_dma_cycles_proportional_to_traffic(self, cfg16):
+        ctx = make_ctx(in_maps=8, out_maps=8, kernel=3, pad=1, hw=64)
+        report = analyze_fit(ctx, cfg16)
+        assert report.dma_cycles == pytest.approx(
+            report.total_traffic_words / cfg16.dram_words_per_cycle
+        )
+
+    def test_compulsory_covers_each_tensor_once(self, cfg16):
+        ctx = make_ctx(in_maps=2, out_maps=4, kernel=3, hw=12)
+        report = analyze_fit(ctx, cfg16)
+        ws = report.working_set
+        assert report.compulsory_words == (
+            ws.input_words + ws.output_words + ws.weight_words
+        )

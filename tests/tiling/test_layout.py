@@ -1,0 +1,96 @@
+"""Layout (inter-order vs intra-order) tests — Algorithm 2 lines 4-5."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.layers import TensorShape
+from repro.tiling.layout import (
+    Layout,
+    from_layout,
+    linear_address,
+    reorder_moves,
+    to_layout,
+)
+
+
+class TestConversions:
+    def test_intra_is_identity(self):
+        data = np.arange(24).reshape(2, 3, 4)
+        assert to_layout(data, Layout.INTRA) is data
+
+    def test_inter_is_depth_last(self):
+        data = np.arange(24).reshape(2, 3, 4)
+        stored = to_layout(data, Layout.INTER)
+        assert stored.shape == (3, 4, 2)
+        assert stored[1, 2, 0] == data[0, 1, 2]
+
+    @given(
+        d=st.integers(1, 4),
+        h=st.integers(1, 5),
+        w=st.integers(1, 5),
+        layout=st.sampled_from(list(Layout)),
+    )
+    def test_roundtrip(self, d, h, w, layout):
+        data = np.arange(d * h * w).reshape(d, h, w)
+        assert np.array_equal(from_layout(to_layout(data, layout), layout), data)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            to_layout(np.ones((2, 2)), Layout.INTER)
+
+
+class TestLinearAddress:
+    def test_inter_order_depth_is_unit_stride(self):
+        """Inter-kernel streams consecutive input maps at one pixel: those
+        words must be adjacent in INTER layout."""
+        shape = TensorShape(8, 5, 5)
+        a0 = linear_address(shape, 0, 2, 3, Layout.INTER)
+        a1 = linear_address(shape, 1, 2, 3, Layout.INTER)
+        assert a1 - a0 == 1
+
+    def test_intra_order_x_is_unit_stride(self):
+        """Intra-kernel streams consecutive pixels of one map: those words
+        must be adjacent in INTRA layout."""
+        shape = TensorShape(8, 5, 5)
+        a0 = linear_address(shape, 3, 2, 0, Layout.INTRA)
+        a1 = linear_address(shape, 3, 2, 1, Layout.INTRA)
+        assert a1 - a0 == 1
+
+    def test_addresses_are_a_bijection(self):
+        shape = TensorShape(2, 3, 4)
+        for layout in Layout:
+            seen = {
+                linear_address(shape, d, y, x, layout)
+                for d in range(2)
+                for y in range(3)
+                for x in range(4)
+            }
+            assert seen == set(range(24))
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ShapeError):
+            linear_address(TensorShape(2, 2, 2), 2, 0, 0, Layout.INTRA)
+
+    def test_matches_numpy_flat_index(self):
+        data = np.arange(2 * 3 * 4).reshape(2, 3, 4)
+        shape = TensorShape(2, 3, 4)
+        inter = to_layout(data, Layout.INTER).reshape(-1)
+        for d in range(2):
+            for y in range(3):
+                for x in range(4):
+                    assert data[d, y, x] == inter[
+                        linear_address(shape, d, y, x, Layout.INTER)
+                    ]
+
+
+class TestReorderMoves:
+    def test_same_layout_free(self):
+        shape = TensorShape(4, 8, 8)
+        assert reorder_moves(shape, Layout.INTRA, Layout.INTRA) == 0
+
+    def test_cross_layout_moves_everything(self):
+        shape = TensorShape(4, 8, 8)
+        assert reorder_moves(shape, Layout.INTRA, Layout.INTER) == 256

@@ -1,0 +1,138 @@
+"""Kernel partitioning (Eq. 2 / Fig. 5) transform tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError, ShapeError
+from repro.tiling.partition import (
+    pad_data_for_partition,
+    padded_input_extent,
+    partition_geometry,
+    partition_weights,
+)
+
+
+class TestEquation2:
+    def test_alexnet_conv1(self):
+        """k=11, s=4: 'the original big kernel is partitioned into 9 small
+        sub-kernels (4x4)' (Fig. 5)."""
+        g = partition_geometry(11, 4)
+        assert g.groups_per_side == 3
+        assert g.sub_kernel == 4
+        assert g.pieces == 9
+        assert g.padded_kernel == 12
+        assert g.pad_overhead == pytest.approx(144 / 121)
+
+    def test_googlenet_conv1(self):
+        g = partition_geometry(7, 2)
+        assert (g.groups_per_side, g.sub_kernel, g.pieces) == (4, 2, 16)
+
+    def test_stride1_small_kernel(self):
+        g = partition_geometry(3, 1)
+        assert (g.groups_per_side, g.sub_kernel) == (3, 1)
+        assert g.pad_overhead == pytest.approx(1.0)  # 3*1 == 3, no padding
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ScheduleError):
+            partition_geometry(3, 3)
+        with pytest.raises(ScheduleError):
+            partition_geometry(1, 1)
+        with pytest.raises(ScheduleError):
+            partition_geometry(3, 4)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ShapeError):
+            partition_geometry(0, 1)
+
+    @given(k=st.integers(2, 15), s=st.integers(1, 14))
+    def test_invariants(self, k, s):
+        if s >= k:
+            return
+        g = partition_geometry(k, s)
+        # the padded grid always covers the original kernel
+        assert g.padded_kernel >= k
+        # and never by more than one full sub-kernel per side
+        assert g.padded_kernel - k < g.sub_kernel
+        assert g.pad_overhead >= 1.0
+        assert g.sub_kernel == s
+
+
+class TestPartitionWeights:
+    def test_piece_count_and_shape(self):
+        w = np.arange(11 * 11, dtype=float).reshape(11, 11)
+        pieces = partition_weights(w, stride=4)
+        assert pieces.shape == (9, 4, 4)
+
+    def test_values_preserved_with_zero_padding(self):
+        w = np.arange(11 * 11, dtype=float).reshape(11, 11)
+        pieces = partition_weights(w, stride=4)
+        # total mass unchanged: padding contributes zeros
+        assert pieces.sum() == pytest.approx(w.sum())
+        # first piece is the top-left 4x4 corner
+        assert np.array_equal(pieces[0], w[:4, :4])
+        # last piece holds the bottom-right 3x3 remnant plus zero padding
+        assert np.array_equal(pieces[8][:3, :3], w[8:, 8:])
+        assert pieces[8][3, :].sum() == 0
+        assert pieces[8][:, 3].sum() == 0
+
+    def test_leading_axes_preserved(self):
+        w = np.random.default_rng(0).standard_normal((6, 3, 5, 5))
+        pieces = partition_weights(w, stride=2)
+        assert pieces.shape == (6, 3, 9, 2, 2)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            partition_weights(np.ones((3, 4)), stride=1)
+
+    @settings(deadline=None)
+    @given(
+        k=st.integers(2, 9),
+        s=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_mass_conservation(self, k, s, seed):
+        if s >= k:
+            return
+        w = np.random.default_rng(seed).standard_normal((k, k))
+        pieces = partition_weights(w, s)
+        assert pieces.sum() == pytest.approx(w.sum())
+        geom = partition_geometry(k, s)
+        assert pieces.shape == (geom.pieces, s, s)
+
+
+class TestPaddedExtent:
+    def test_alexnet_conv1_gets_227_to_228(self):
+        """Fig. 5a: 227 input, last sub-kernel scans d3,3..d57,57 with a
+        reach of (55-1)*4 + 12 = 228."""
+        out, padded = padded_input_extent(227, 11, 4, 0)
+        assert out == 55
+        assert padded == 228
+
+    def test_no_extra_padding_when_kernel_divides(self):
+        out, padded = padded_input_extent(9, 3, 1, 0)
+        assert out == 7
+        assert padded == 9  # (7-1)*1 + 3 = 9
+
+    def test_pad_data_shape(self):
+        data = np.ones((3, 227, 227))
+        padded = pad_data_for_partition(data, kernel=11, stride=4, pad=0)
+        assert padded.shape == (3, 228, 228)
+        # padding is zeros
+        assert padded[:, 227, :].sum() == 0
+
+    def test_pad_data_with_conv_padding(self):
+        data = np.ones((2, 27, 27))
+        padded = pad_data_for_partition(data, kernel=5, stride=1, pad=2)
+        # conv pad symmetric: original content starts at (2, 2)
+        assert padded[0, 2, 2] == 1.0
+        assert padded[0, 0, 0] == 0.0
+        # enough room for the farthest sub-kernel offset
+        out, extent = padded_input_extent(27, 5, 1, 2)
+        assert padded.shape[1] == extent
+        assert out == 27
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ShapeError):
+            pad_data_for_partition(np.ones((4, 4)), 3, 1, 0)

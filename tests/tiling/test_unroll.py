@@ -1,0 +1,127 @@
+"""Unrolling (Eq. 1 / im2col) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.layers import ConvLayer, TensorShape
+from repro.tiling.unroll import im2col, pad_input, unroll_factor, unroll_stats
+
+
+class TestEquation1:
+    def test_paper_example_28x28_k5(self):
+        """'given a 28x28 map with k=5 and s=1 ... 24x24x25' -> T ~= 18.4."""
+        t = unroll_factor(28, 28, 5, 1)
+        assert t == pytest.approx(24 * 24 * 25 / (28 * 28))
+
+    def test_alexnet_conv1(self):
+        # 227x227, k=11, s=4 -> 55x55 windows of 121 pixels
+        t = unroll_factor(227, 227, 11, 4)
+        assert t == pytest.approx(55 * 55 * 121 / (227 * 227))
+        assert 7 < t < 8
+
+    def test_k_equals_s_no_duplication(self):
+        assert unroll_factor(16, 16, 4, 4) == pytest.approx(1.0)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            unroll_factor(4, 4, 5, 1)
+
+    @given(
+        hw=st.integers(8, 48),
+        k=st.integers(1, 7),
+        s=st.integers(1, 3),
+    )
+    def test_factor_at_least_stride_normalized(self, hw, k, s):
+        if k > hw or s > k:
+            return
+        t = unroll_factor(hw, hw, k, s)
+        # duplication approaches (k/s)^2 for large maps, never exceeds it
+        assert t <= (k / s) ** 2 + 1e-9
+
+
+class TestUnrollStats:
+    def test_fig3_band(self):
+        """Fig. 3: unrolled size is 9x-18.9x raw for bottom layers (with
+        padding included our band is slightly wider, ~7x-25x)."""
+        from repro.analysis.experiments import fig3_unrolling
+
+        for row in fig3_unrolling():
+            assert 5.0 < row.factor < 30.0
+
+    def test_counts_all_input_maps(self):
+        layer = ConvLayer("c", in_maps=3, out_maps=8, kernel=3)
+        stats = unroll_stats(layer, TensorShape(3, 10, 10))
+        assert stats.raw_elements == 300
+        assert stats.unrolled_elements == 8 * 8 * 9 * 3
+
+    def test_bits(self):
+        layer = ConvLayer("c", in_maps=1, out_maps=1, kernel=1)
+        stats = unroll_stats(layer, TensorShape(1, 4, 4))
+        assert stats.raw_bits() == 16 * 16
+        assert stats.unrolled_bits(word_bits=8) == stats.unrolled_elements * 8
+
+
+class TestIm2col:
+    def test_shape(self):
+        data = np.arange(2 * 6 * 6, dtype=float).reshape(2, 6, 6)
+        cols = im2col(data, kernel=3, stride=1)
+        assert cols.shape == (16, 18)
+
+    def test_first_row_is_first_window(self):
+        data = np.arange(1 * 4 * 4, dtype=float).reshape(1, 4, 4)
+        cols = im2col(data, kernel=2, stride=1)
+        assert np.array_equal(cols[0], data[0, :2, :2].reshape(-1))
+
+    def test_stride_skips_windows(self):
+        data = np.arange(1 * 6 * 6, dtype=float).reshape(1, 6, 6)
+        cols = im2col(data, kernel=2, stride=2)
+        assert cols.shape == (9, 4)
+        assert np.array_equal(cols[1], data[0, 0:2, 2:4].reshape(-1))
+
+    def test_padding(self):
+        data = np.ones((1, 3, 3))
+        cols = im2col(data, kernel=3, stride=1, pad=1)
+        assert cols.shape == (9, 9)
+        # the corner window sees 4 real pixels and 5 zeros
+        assert cols[0].sum() == 4
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ShapeError):
+            im2col(np.ones((4, 4)), 2, 1)
+
+    @settings(deadline=None)
+    @given(
+        hw=st.integers(4, 12),
+        k=st.integers(1, 4),
+        s=st.integers(1, 3),
+        d=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    def test_row_count_matches_output_pixels(self, hw, k, s, d, seed):
+        if k > hw:
+            return
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((d, hw, hw))
+        cols = im2col(data, k, s)
+        out_hw = (hw - k) // s + 1
+        assert cols.shape == (out_hw * out_hw, d * k * k)
+
+
+class TestPadInput:
+    def test_zero_pad_identity(self):
+        data = np.ones((1, 3, 3))
+        assert pad_input(data, 0) is data
+
+    def test_pad_shape_and_zeros(self):
+        data = np.ones((2, 3, 3))
+        padded = pad_input(data, 2)
+        assert padded.shape == (2, 7, 7)
+        assert padded[:, 0, :].sum() == 0
+        assert padded[:, 2:5, 2:5].sum() == 18
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            pad_input(np.ones((1, 2, 2)), -1)
