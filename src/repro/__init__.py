@@ -25,6 +25,8 @@ Sub-packages:
   functional (numerical) execution
 - :mod:`repro.baselines` — CPU (Table 4) and Zhang FPGA'15 (Fig. 9) models
 - :mod:`repro.analysis` — one driver per table/figure of the paper
+- :mod:`repro.perf` — schedule cache, parallel design-space executor,
+  perf instrumentation (``docs/performance.md``)
 """
 
 from repro.adaptive import plan_network, select_scheme

@@ -11,6 +11,12 @@ select NETWORK [--config 16-16]
     Print Algorithm 2's per-layer scheme choices with reasons.
 networks
     List the benchmark networks and their Table 2 characteristics.
+
+Every command also accepts the planning-performance flags (see
+``docs/performance.md``): ``--jobs N`` fans design-space work out over N
+worker processes (-1 = all CPUs), ``--no-plan-cache`` disables the schedule
+cache, and ``--perf-report`` prints phase timings and cache statistics
+after the command finishes.
 """
 
 from __future__ import annotations
@@ -224,8 +230,28 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # planning-performance flags shared by every subcommand
+    perf_opts = argparse.ArgumentParser(add_help=False)
+    perf_opts.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan design-space work out over N processes (-1 = all CPUs)",
+    )
+    perf_opts.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="disable the per-layer schedule cache",
+    )
+    perf_opts.add_argument(
+        "--perf-report",
+        action="store_true",
+        help="print phase timings and cache statistics when done",
+    )
+
     p_report = sub.add_parser(
-        "report", help="regenerate all tables and figures"
+        "report", help="regenerate all tables and figures", parents=[perf_opts]
     )
     p_report.add_argument(
         "--csv-dir",
@@ -233,7 +259,7 @@ def main(argv=None) -> int:
         help="also write each dataset as CSV into this directory",
     )
 
-    p_plan = sub.add_parser("plan", help="plan one network")
+    p_plan = sub.add_parser("plan", help="plan one network", parents=[perf_opts])
     p_plan.add_argument("network", choices=sorted(NETWORK_BUILDERS))
     p_plan.add_argument("--config", default="16-16")
     p_plan.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
@@ -254,25 +280,27 @@ def main(argv=None) -> int:
         help="draw the compute-vs-stream timeline",
     )
 
-    p_sel = sub.add_parser("select", help="show Algorithm 2 choices")
+    p_sel = sub.add_parser("select", help="show Algorithm 2 choices", parents=[perf_opts])
     p_sel.add_argument("network", choices=sorted(NETWORK_BUILDERS))
     p_sel.add_argument("--config", default="16-16")
 
     p_sim = sub.add_parser(
-        "simulate", help="compile, lint and machine-execute a network"
+        "simulate",
+        help="compile, lint and machine-execute a network",
+        parents=[perf_opts],
     )
     p_sim.add_argument("network", choices=sorted(NETWORK_BUILDERS))
     p_sim.add_argument("--config", default="16-16")
     p_sim.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
     p_sim.add_argument("--asm", default="", help="also dump the assembly to a file")
 
-    p_cmp = sub.add_parser("compare", help="diff two policies layer by layer")
+    p_cmp = sub.add_parser("compare", help="diff two policies layer by layer", parents=[perf_opts])
     p_cmp.add_argument("network", choices=sorted(NETWORK_BUILDERS))
     p_cmp.add_argument("policy_a", choices=POLICY_NAMES)
     p_cmp.add_argument("policy_b", choices=POLICY_NAMES)
     p_cmp.add_argument("--config", default="16-16")
 
-    p_an = sub.add_parser("analyze", help="reuse/quantization analytics")
+    p_an = sub.add_parser("analyze", help="reuse/quantization analytics", parents=[perf_opts])
     p_an.add_argument("network", choices=sorted(NETWORK_BUILDERS))
     p_an.add_argument("--config", default="16-16")
     p_an.add_argument(
@@ -282,7 +310,7 @@ def main(argv=None) -> int:
     )
 
     p_nets = sub.add_parser(
-        "networks", help="list benchmark networks (Table 2)"
+        "networks", help="list benchmark networks (Table 2)", parents=[perf_opts]
     )
     p_nets.add_argument(
         "--detail",
@@ -302,7 +330,25 @@ def main(argv=None) -> int:
         "simulate": cmd_simulate,
         "networks": cmd_networks,
     }
-    return handlers[args.command](args)
+
+    from repro.perf import schedule_cache, set_default_jobs
+
+    if getattr(args, "no_plan_cache", False):
+        schedule_cache.configure(enabled=False)
+    if getattr(args, "jobs", None) is not None:
+        from repro.errors import ConfigError
+
+        try:
+            set_default_jobs(args.jobs)
+        except ConfigError as exc:
+            parser.error(str(exc))
+    rc = handlers[args.command](args)
+    if getattr(args, "perf_report", False):
+        from repro.perf import render_perf_report
+
+        print()
+        print(render_perf_report())
+    return rc
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from repro.arch.buffers import AccessCounter
 from repro.arch.config import AcceleratorConfig
 from repro.errors import ConfigError
 from repro.nn.network import Network
+from repro.perf.instrument import phase
 from repro.schemes.base import ScheduleResult
 from repro.sim.trace import NetworkRun
 
@@ -104,20 +105,23 @@ def plan_batch(
     """Plan ``net`` for a batch of images.
 
     Defaults to including the non-conv layers, since FC amortization is
-    the point of batching.
+    the point of batching.  The underlying single-image plan goes through
+    the schedule cache, so sizing a batch sweep (many batch sizes, one
+    geometry set) schedules each layer only once.
     """
     from repro.adaptive.planner import plan_network
 
-    single = plan_network(net, config, policy, include_non_conv=include_non_conv)
-    batched = NetworkRun(
-        network_name=net.name,
-        policy=f"{policy}@batch{batch_size}",
-        config=config,
-        input_reorder_words=single.input_reorder_words * batch_size,
-    )
-    layers: List[ScheduleResult] = [
-        batch_layer(r, batch_size) for r in single.layers
-    ]
-    for layer in layers:
-        batched.append(layer)
-    return BatchRun(run=batched, batch_size=batch_size)
+    with phase("plan_batch"):
+        single = plan_network(net, config, policy, include_non_conv=include_non_conv)
+        batched = NetworkRun(
+            network_name=net.name,
+            policy=f"{policy}@batch{batch_size}",
+            config=config,
+            input_reorder_words=single.input_reorder_words * batch_size,
+        )
+        layers: List[ScheduleResult] = [
+            batch_layer(r, batch_size) for r in single.layers
+        ]
+        for layer in layers:
+            batched.append(layer)
+        return BatchRun(run=batched, batch_size=batch_size)

@@ -20,13 +20,14 @@ conversion, charged as one extra DMA pass.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.adaptive.selector import SchemeChoice, layout_for_scheme, select_scheme
 from repro.arch.config import AcceleratorConfig
 from repro.errors import ConfigError, ScheduleError
 from repro.nn.network import LayerContext, Network
-from repro.schemes import Scheme, make_scheme
+from repro.perf.cache import cached_schedule
+from repro.perf.instrument import phase
 from repro.sim.trace import NetworkRun
 from repro.tiling.layout import Layout, reorder_moves
 
@@ -69,9 +70,9 @@ def _adaptive_chooser(improved: bool) -> Callable[[LayerContext, AcceleratorConf
 
 def _oracle_chooser(ctx: LayerContext, config: AcceleratorConfig) -> str:
     # imported lazily to avoid an import cycle with search.py
-    from repro.adaptive.search import best_scheme_for_layer
+    from repro.adaptive.search import best_scheme_name_for_layer
 
-    return best_scheme_for_layer(ctx, config).scheme
+    return best_scheme_name_for_layer(ctx, config)
 
 
 def _chooser(policy: str) -> Callable[[LayerContext, AcceleratorConfig], str]:
@@ -89,12 +90,13 @@ def _chooser(policy: str) -> Callable[[LayerContext, AcceleratorConfig], str]:
 def plan_layer(
     ctx: LayerContext, config: AcceleratorConfig, scheme_name: str
 ):
-    """Schedule one layer under one scheme (cached scheme instances)."""
-    scheme = _scheme_cache.setdefault(scheme_name, make_scheme(scheme_name))
-    return scheme.schedule(ctx, config)
+    """Schedule one layer under one scheme.
 
-
-_scheme_cache: Dict[str, Scheme] = {}
+    Memoized through :mod:`repro.perf.cache`: layers sharing a geometry
+    (VGG's repeated 3x3 stacks, replans of the same network) reuse the
+    stored schedule instead of re-deriving the tiling.
+    """
+    return cached_schedule(scheme_name, ctx, config)
 
 
 def choices_for_network(
@@ -127,26 +129,27 @@ def plan_network(
     from repro.schemes.auxiliary import schedule_auxiliary
 
     choose = _chooser(policy)
-    run = NetworkRun(network_name=net.name, policy=policy, config=config)
-    first_conv_ctx: Optional[LayerContext] = None
-    first_conv_result = None
-    for ctx in net.contexts():
-        if isinstance(ctx.layer, ConvLayer):
-            name = choose(ctx, config)
-            try:
-                result = plan_layer(ctx, config, name)
-            except ScheduleError:
-                # a fixed policy hit a layer its scheme cannot map — fall
-                # back to intra-kernel, which is always legal
-                result = plan_layer(ctx, config, "intra")
-            if first_conv_ctx is None:
-                first_conv_ctx = ctx
-                first_conv_result = result
-            run.append(result)
-        elif include_non_conv:
-            run.append(schedule_auxiliary(ctx, config))
-    if first_conv_result is not None:
-        run.input_reorder_words = reorder_moves(
-            first_conv_ctx.in_shape, _INPUT_LAYOUT, first_conv_result.input_layout
-        )
-    return run
+    with phase("plan_network"):
+        run = NetworkRun(network_name=net.name, policy=policy, config=config)
+        first_conv_ctx: Optional[LayerContext] = None
+        first_conv_result = None
+        for ctx in net.contexts():
+            if isinstance(ctx.layer, ConvLayer):
+                name = choose(ctx, config)
+                try:
+                    result = plan_layer(ctx, config, name)
+                except ScheduleError:
+                    # a fixed policy hit a layer its scheme cannot map — fall
+                    # back to intra-kernel, which is always legal
+                    result = plan_layer(ctx, config, "intra")
+                if first_conv_ctx is None:
+                    first_conv_ctx = ctx
+                    first_conv_result = result
+                run.append(result)
+            elif include_non_conv:
+                run.append(schedule_auxiliary(ctx, config))
+        if first_conv_result is not None:
+            run.input_reorder_words = reorder_moves(
+                first_conv_ctx.in_shape, _INPUT_LAYOUT, first_conv_result.input_layout
+            )
+        return run

@@ -14,19 +14,23 @@ simultaneous those two really are).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.arch.config import AcceleratorConfig
 from repro.arch.energy import EnergyModel
 from repro.errors import ConfigError, ScheduleError
 from repro.nn.network import LayerContext, Network
-from repro.schemes import make_scheme
+from repro.perf.cache import cached_schedule, config_key, layer_key, schedule_cache
+from repro.perf.instrument import phase
+from repro.perf.parallel import parallel_map
 from repro.schemes.base import ScheduleResult
 
 __all__ = [
     "SearchOutcome",
     "best_scheme_for_layer",
+    "best_scheme_name_for_layer",
     "search_network",
     "layer_energy_pj",
     "OBJECTIVES",
@@ -86,19 +90,25 @@ def best_scheme_for_layer(
     evaluated: List[ScheduleResult] = []
     for name in candidates:
         try:
-            evaluated.append(make_scheme(name).schedule(ctx, config))
+            evaluated.append(cached_schedule(name, ctx, config))
         except ScheduleError:
             continue
     if not evaluated:
         raise ScheduleError(f"{ctx.name}: no candidate scheme is legal")
+    # every key ends on the scheme name so ties break identically no matter
+    # how the candidate list was ordered (or which pool worker evaluated it)
     if objective == "cycles":
-        key = lambda r: (r.total_cycles, r.buffer_accesses)
+        key = lambda r: (r.total_cycles, r.buffer_accesses, r.scheme)
     else:
         model = EnergyModel(config)
         if objective == "energy":
-            key = lambda r: layer_energy_pj(r, model)
+            key = lambda r: (layer_energy_pj(r, model), r.total_cycles, r.scheme)
         else:
-            key = lambda r: layer_energy_pj(r, model) * r.total_cycles
+            key = lambda r: (
+                layer_energy_pj(r, model) * r.total_cycles,
+                r.total_cycles,
+                r.scheme,
+            )
     best = min(evaluated, key=key)
     return SearchOutcome(
         layer_name=ctx.name,
@@ -108,14 +118,62 @@ def best_scheme_for_layer(
     )
 
 
+#: memo of search winners' *names* for choosers that never look at the full
+#: outcome (the oracle planning policy): geometry/config-keyed like the
+#: schedule cache, honors its enable switch, and being a pure-function memo
+#: it needs no invalidation — only an LRU bound.
+_WINNER_MEMO: "OrderedDict[Tuple, str]" = OrderedDict()
+_WINNER_MEMO_MAX = 4096
+
+
+def best_scheme_name_for_layer(
+    ctx: LayerContext,
+    config: AcceleratorConfig,
+    candidates: Sequence[str] = CANDIDATE_SCHEMES,
+    objective: str = "cycles",
+) -> str:
+    """The oracle winner's scheme name, memoized.
+
+    A replanned layer costs one dict probe instead of re-ranking every
+    candidate; disabled together with the schedule cache so
+    ``--no-plan-cache`` reproduces the fully uncached pipeline.
+    """
+    if not schedule_cache.enabled:
+        return best_scheme_for_layer(ctx, config, candidates, objective).scheme
+    key = (layer_key(ctx), config_key(config), tuple(candidates), objective)
+    name = _WINNER_MEMO.get(key)
+    if name is None:
+        name = best_scheme_for_layer(ctx, config, candidates, objective).scheme
+        _WINNER_MEMO[key] = name
+        if len(_WINNER_MEMO) > _WINNER_MEMO_MAX:
+            _WINNER_MEMO.popitem(last=False)
+    return name
+
+
+def _search_layer_task(
+    payload: Tuple[LayerContext, AcceleratorConfig, Tuple[str, ...], str]
+) -> SearchOutcome:
+    """Picklable per-layer unit of work for the parallel oracle."""
+    ctx, config, candidates, objective = payload
+    return best_scheme_for_layer(ctx, config, candidates, objective=objective)
+
+
 def search_network(
     net: Network,
     config: AcceleratorConfig,
     candidates: Sequence[str] = CANDIDATE_SCHEMES,
     objective: str = "cycles",
+    jobs: Optional[int] = None,
 ) -> List[SearchOutcome]:
-    """Run the per-layer oracle over every conv layer of ``net``."""
-    return [
-        best_scheme_for_layer(ctx, config, candidates, objective=objective)
-        for ctx in net.conv_contexts()
-    ]
+    """Run the per-layer oracle over every conv layer of ``net``.
+
+    ``jobs`` fans the layers out over a process pool (``None`` defers to
+    the ``--jobs`` default, 1 stays serial); result order and content are
+    identical either way.
+    """
+    with phase("search_network"):
+        payloads = [
+            (ctx, config, tuple(candidates), objective)
+            for ctx in net.conv_contexts()
+        ]
+        return parallel_map(_search_layer_task, payloads, jobs=jobs)

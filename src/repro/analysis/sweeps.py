@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.adaptive.planner import plan_network
 from repro.arch.config import AcceleratorConfig
 from repro.errors import ConfigError
 from repro.nn.network import Network
+from repro.perf.instrument import phase
+from repro.perf.parallel import parallel_map
 
 __all__ = [
     "SweepPoint",
@@ -53,6 +55,13 @@ def _point(value, config: AcceleratorConfig, run) -> SweepPoint:
     )
 
 
+def _sweep_task(payload) -> SweepPoint:
+    """Picklable per-grid-point unit of work for the parallel sweep."""
+    net, config, policy, include_non_conv, value = payload
+    run = plan_network(net, config, policy, include_non_conv=include_non_conv)
+    return _point(value, config, run)
+
+
 def sweep_parameter(
     net: Network,
     base: AcceleratorConfig,
@@ -60,11 +69,14 @@ def sweep_parameter(
     values: Sequence,
     policy: str = "adaptive-2",
     include_non_conv: bool = False,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Re-plan ``net`` for each value of one AcceleratorConfig field.
 
     ``parameter`` must be a real config field (e.g.
-    ``"dram_words_per_cycle"``, ``"input_buffer_bytes"``).
+    ``"dram_words_per_cycle"``, ``"input_buffer_bytes"``).  ``jobs`` fans
+    the grid points out over a process pool; points come back in ``values``
+    order either way.
     """
     field_names = {f.name for f in dataclasses.fields(AcceleratorConfig)}
     if parameter not in field_names:
@@ -72,12 +84,18 @@ def sweep_parameter(
             f"unknown config parameter {parameter!r}; "
             f"choose from {sorted(field_names)}"
         )
-    points = []
-    for value in values:
-        config = dataclasses.replace(base, **{parameter: value})
-        run = plan_network(net, config, policy, include_non_conv=include_non_conv)
-        points.append(_point(value, config, run))
-    return points
+    payloads = [
+        (
+            net,
+            dataclasses.replace(base, **{parameter: value}),
+            policy,
+            include_non_conv,
+            value,
+        )
+        for value in values
+    ]
+    with phase("sweep_parameter"):
+        return parallel_map(_sweep_task, payloads, jobs=jobs)
 
 
 def pe_shapes_for_budget(
@@ -106,11 +124,13 @@ def sweep_pe_shapes(
     base: AcceleratorConfig,
     budget: int,
     policy: str = "adaptive-2",
+    jobs: Optional[int] = None,
 ) -> Dict[str, SweepPoint]:
     """Plan ``net`` on every PE shape at (approximately) one multiplier budget."""
-    out: Dict[str, SweepPoint] = {}
-    for tin, tout in pe_shapes_for_budget(budget):
-        config = base.with_pe(tin, tout)
-        run = plan_network(net, config, policy)
-        out[config.name] = _point((tin, tout), config, run)
-    return out
+    payloads = [
+        (net, base.with_pe(tin, tout), policy, False, (tin, tout))
+        for tin, tout in pe_shapes_for_budget(budget)
+    ]
+    with phase("sweep_pe_shapes"):
+        points = parallel_map(_sweep_task, payloads, jobs=jobs)
+    return {point.config_name: point for point in points}

@@ -1,0 +1,54 @@
+"""Planning-performance subsystem: schedule cache, parallel executor, timers.
+
+The planner, the oracle search and every design-space sweep ultimately call
+``scheme.schedule(ctx, config)`` on (layer geometry, config) pairs — and
+real workloads repeat those pairs constantly: VGG stacks the same 3x3 conv
+geometry dozens of times, and a sweep replans the same network at every grid
+point.  This package makes that redundancy free:
+
+- :mod:`repro.perf.cache` — content-addressed memoization of
+  :class:`~repro.schemes.base.ScheduleResult` keyed by layer geometry plus
+  the config knobs that actually affect scheduling (LRU-bounded, opt-out);
+- :mod:`repro.perf.parallel` — a process-pool ``parallel_map`` with
+  deterministic result ordering and graceful serial fallback, used to fan
+  out oracle searches and sweep grids;
+- :mod:`repro.perf.instrument` — wall-time phase accounting and the
+  ``--perf-report`` renderer.
+
+See ``docs/performance.md`` for the cache-key design and CLI semantics.
+"""
+
+from repro.perf.cache import (
+    CacheStats,
+    ScheduleCache,
+    cached_schedule,
+    canonical_key,
+    config_key,
+    layer_key,
+    schedule_cache,
+)
+from repro.perf.instrument import PERF, PerfRecorder, phase, render_perf_report
+from repro.perf.parallel import (
+    get_default_jobs,
+    parallel_map,
+    resolve_jobs,
+    set_default_jobs,
+)
+
+__all__ = [
+    "CacheStats",
+    "ScheduleCache",
+    "cached_schedule",
+    "canonical_key",
+    "config_key",
+    "layer_key",
+    "schedule_cache",
+    "PERF",
+    "PerfRecorder",
+    "phase",
+    "render_perf_report",
+    "get_default_jobs",
+    "parallel_map",
+    "resolve_jobs",
+    "set_default_jobs",
+]

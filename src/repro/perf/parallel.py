@@ -1,0 +1,91 @@
+"""Process-pool fan-out for design-space exploration.
+
+``parallel_map`` is the one primitive the oracle search, the sweep helpers
+and the figure drivers share: map a picklable function over a work list on a
+``concurrent.futures`` process pool, preserving input order (results are
+bit-identical to the serial path, just reordered in time), chunking the list
+to amortize IPC, and falling back to plain serial iteration whenever a pool
+cannot be had (single job, one item, or a sandbox that forbids forking).
+
+Exceptions raised *by the work function* propagate unchanged — only pool
+infrastructure failures trigger the serial fallback, and the fallback
+recomputes everything serially so results stay correct either way.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.errors import ConfigError
+from repro.perf.instrument import PERF
+
+__all__ = [
+    "parallel_map",
+    "resolve_jobs",
+    "set_default_jobs",
+    "get_default_jobs",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: process-wide default worker count, set by the CLI's --jobs flag
+_default_jobs = 1
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the default worker count (``--jobs``); -1 means all CPUs."""
+    global _default_jobs
+    if jobs == 0:
+        raise ConfigError("jobs must be nonzero (use -1 for all CPUs)")
+    _default_jobs = jobs
+
+
+def get_default_jobs() -> int:
+    return _default_jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a ``jobs`` argument to a concrete worker count.
+
+    ``None`` defers to the process-wide default; any negative value means
+    "all CPUs".
+    """
+    if jobs is None:
+        jobs = _default_jobs
+    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """``[fn(x) for x in items]`` — possibly on a process pool.
+
+    Results come back in input order regardless of completion order, so
+    parallel and serial runs are interchangeable.  With ``jobs <= 1`` (the
+    default unless ``--jobs``/``set_default_jobs`` raised it) no pool is
+    created at all.
+    """
+    work = list(items)
+    workers = min(resolve_jobs(jobs), len(work))
+    if workers <= 1:
+        return [fn(item) for item in work]
+    if chunksize is None:
+        chunksize = max(1, len(work) // (workers * 4))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, work, chunksize=chunksize))
+    except (OSError, ImportError, BrokenProcessPool, pickle.PicklingError):
+        # no usable pool on this host (or the payload cannot cross the
+        # process boundary) — degrade to the serial path
+        PERF.incr("parallel_fallbacks")
+        return [fn(item) for item in work]

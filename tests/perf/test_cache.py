@@ -1,0 +1,190 @@
+"""Schedule-cache correctness: cached == uncached, keys never collide."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.adaptive.planner import POLICY_NAMES, plan_network
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32, AcceleratorConfig
+from repro.errors import ScheduleError
+from repro.nn.zoo import NETWORK_BUILDERS, build
+from repro.perf.cache import (
+    ScheduleCache,
+    canonical_key,
+    config_key,
+    schedule_cache,
+)
+
+ZOO = sorted(NETWORK_BUILDERS)
+
+
+def _layer_fingerprint(result):
+    """Everything a ScheduleResult reports, in comparable form."""
+    return (
+        result.scheme,
+        result.layer_name,
+        result.operations,
+        result.useful_macs,
+        result.extra_adds,
+        {name: (c.loads, c.stores) for name, c in result.accesses.items()},
+        result.dram_words,
+        result.dma_cycles,
+        result.reshape_cycles,
+        result.input_layout,
+        result.output_layout,
+        result.total_cycles,
+        result.buffer_accesses,
+    )
+
+
+def _run_fingerprint(run):
+    return (
+        run.input_reorder_words,
+        run.total_cycles,
+        run.buffer_accesses,
+        run.dram_words,
+        [_layer_fingerprint(r) for r in run.layers],
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test starts from an empty, enabled process-wide cache."""
+    schedule_cache.configure(enabled=True)
+    schedule_cache.clear()
+    yield
+    schedule_cache.configure(enabled=True)
+    schedule_cache.clear()
+
+
+@pytest.mark.parametrize("net_name", ZOO)
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_cached_identical_to_uncached(net_name, policy):
+    """Property: the cache never changes a single reported number."""
+    net = build(net_name)
+    schedule_cache.configure(enabled=False)
+    reference = plan_network(net, CONFIG_16_16, policy)
+    schedule_cache.configure(enabled=True)
+    schedule_cache.clear()
+    cold = plan_network(net, CONFIG_16_16, policy)
+    warm = plan_network(net, CONFIG_16_16, policy)
+    assert _run_fingerprint(cold) == _run_fingerprint(reference)
+    assert _run_fingerprint(warm) == _run_fingerprint(reference)
+
+
+def test_repeated_plans_hit_the_cache():
+    net = build("vgg")
+    plan_network(net, CONFIG_16_16, "oracle")
+    first = schedule_cache.stats()
+    plan_network(net, CONFIG_16_16, "oracle")
+    second = schedule_cache.stats()
+    assert first.hits > 0  # VGG repeats conv geometries within one plan
+    assert second.misses == first.misses  # replan is all hits
+    assert second.hits > first.hits
+
+
+def test_distinct_configs_never_share_entries():
+    """Any scheduling-relevant knob must split the key space."""
+    ctx = build("alexnet").conv1()
+    variants = {
+        "tin": CONFIG_16_16.with_pe(8, 16),
+        "tout": CONFIG_16_16.with_pe(16, 8),
+        "input_buffer_bytes": dataclasses.replace(
+            CONFIG_16_16, input_buffer_bytes=CONFIG_16_16.input_buffer_bytes // 2
+        ),
+        "output_buffer_bytes": dataclasses.replace(
+            CONFIG_16_16, output_buffer_bytes=CONFIG_16_16.output_buffer_bytes // 2
+        ),
+        "weight_buffer_bytes": dataclasses.replace(
+            CONFIG_16_16, weight_buffer_bytes=CONFIG_16_16.weight_buffer_bytes // 2
+        ),
+        "bias_buffer_bytes": dataclasses.replace(
+            CONFIG_16_16, bias_buffer_bytes=CONFIG_16_16.bias_buffer_bytes // 2
+        ),
+        "dram_words_per_cycle": dataclasses.replace(
+            CONFIG_16_16, dram_words_per_cycle=CONFIG_16_16.dram_words_per_cycle * 2
+        ),
+        "32-32": CONFIG_32_32,
+    }
+    base_key = config_key(CONFIG_16_16)
+    schedule_cache.get_or_schedule("inter", ctx, CONFIG_16_16)
+    baseline = schedule_cache.stats()
+    assert baseline.misses == 1
+    for name, variant in variants.items():
+        assert config_key(variant) != base_key, name
+        assert canonical_key("inter", ctx, variant) != canonical_key(
+            "inter", ctx, CONFIG_16_16
+        ), name
+    # requesting each variant is a fresh miss, never a cross-config hit
+    misses = baseline.misses
+    for variant in variants.values():
+        schedule_cache.get_or_schedule("inter", ctx, variant)
+        stats = schedule_cache.stats()
+        misses += 1
+        assert stats.misses == misses
+        assert stats.hits == baseline.hits
+
+
+def test_hit_rebinds_layer_name_and_config():
+    """Same geometry, different layer / clock: the cached result is rebound."""
+    net = build("vgg")
+    convs = {c.name: c for c in net.conv_contexts()}
+    twin_a, twin_b = convs["conv3_2"], convs["conv3_3"]  # identical geometry
+    fast = schedule_cache.get_or_schedule("inter-improved", twin_a, CONFIG_16_16)
+    slow_cfg = CONFIG_16_16.with_frequency(100e6)  # not part of the key
+    hit = schedule_cache.get_or_schedule("inter-improved", twin_b, slow_cfg)
+    assert schedule_cache.stats().hits == 1
+    assert hit.layer_name == twin_b.name
+    assert hit.config is slow_cfg
+    assert hit.total_cycles == fast.total_cycles
+    assert hit.milliseconds() == pytest.approx(fast.milliseconds() * 10)
+
+
+def test_returned_results_are_independent_copies():
+    ctx = build("alexnet").conv1()
+    first = schedule_cache.get_or_schedule("intra", ctx, CONFIG_16_16)
+    first.accesses["input"].loads += 12345
+    first.notes["tainted"] = True
+    second = schedule_cache.get_or_schedule("intra", ctx, CONFIG_16_16)
+    assert second.accesses["input"].loads == first.accesses["input"].loads - 12345
+    assert "tainted" not in second.notes
+
+
+def test_illegal_schedules_are_negative_cached():
+    # partition cannot map a degenerate s >= k layer
+    net = build("googlenet")
+    degenerate = next(
+        c for c in net.conv_contexts() if c.layer.stride >= c.layer.kernel
+    )
+    for _ in range(2):
+        with pytest.raises(ScheduleError):
+            schedule_cache.get_or_schedule("partition", degenerate, CONFIG_16_16)
+    stats = schedule_cache.stats()
+    assert stats.misses == 1 and stats.hits == 1
+
+
+def test_lru_eviction_bound():
+    cache = ScheduleCache(maxsize=2)
+    net = build("alexnet")
+    convs = net.conv_contexts()
+    cache.get_or_schedule("intra", convs[0], CONFIG_16_16)
+    cache.get_or_schedule("intra", convs[1], CONFIG_16_16)
+    cache.get_or_schedule("intra", convs[2], CONFIG_16_16)
+    stats = cache.stats()
+    assert stats.size == 2
+    assert stats.evictions == 1
+    # the oldest entry was evicted: re-requesting it is a miss again
+    cache.get_or_schedule("intra", convs[0], CONFIG_16_16)
+    assert cache.stats().misses == 4
+
+
+def test_disabled_cache_stores_nothing():
+    cache = ScheduleCache(enabled=False)
+    ctx = build("alexnet").conv1()
+    r1 = cache.get_or_schedule("intra", ctx, CONFIG_16_16)
+    r2 = cache.get_or_schedule("intra", ctx, CONFIG_16_16)
+    stats = cache.stats()
+    assert len(cache) == 0 and stats.lookups == 0
+    assert _layer_fingerprint(r1) == _layer_fingerprint(r2)
