@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Driving the serving simulator programmatically.
+
+Serves the same two-tenant Poisson workload three ways — batch-1, dynamic
+batching on one replica, dynamic batching on two replicas — and prints the
+latency/goodput trade-off each policy buys.  The point to notice: at a load
+past batch-1's capacity, batching is not a throughput tweak, it is the
+difference between meeting SLOs and shedding most of the traffic.
+
+Run:  PYTHONPATH=src python examples/serving_demo.py [rate] [duration]
+"""
+
+import sys
+
+from repro.arch.config import CONFIG_16_16
+from repro.analysis.report import format_table
+from repro.serve import (
+    BatchCoster,
+    BatchPolicy,
+    QueuePolicy,
+    ServingEngine,
+    parse_mix,
+    poisson_arrivals,
+)
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 100.0
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 5.0
+
+    tenants = parse_mix("alexnet:3,nin:1", slo_ms=250)
+    requests = poisson_arrivals(rate, duration, tenants, seed=0)
+    coster = BatchCoster(CONFIG_16_16)  # shared: plans derive once
+
+    setups = [
+        ("batch-1", BatchPolicy(max_batch=1), 1),
+        ("dynamic x1", BatchPolicy(max_batch=16, max_wait_ms=10), 1),
+        ("dynamic x2", BatchPolicy(max_batch=16, max_wait_ms=10), 2),
+    ]
+
+    rows = []
+    for label, policy, replicas in setups:
+        report = ServingEngine(
+            CONFIG_16_16,
+            batch_policy=policy,
+            queue_policy=QueuePolicy(max_depth=256),
+            replicas=replicas,
+            routing="least-loaded",
+            coster=coster,
+        ).run(requests, duration)
+        s = report.summary
+        rows.append(
+            [
+                label,
+                f"{s['goodput_rps']:.1f}",
+                f"{s['latency_ms']['p50']:.1f}",
+                f"{s['latency_ms']['p95']:.1f}",
+                f"{s['shed_rate']:.1%}",
+                f"{s['mean_batch_size']:.2f}",
+                f"{s['utilization']:.1%}",
+            ]
+        )
+
+    print(
+        f"{len(requests)} requests at {rate:g} req/s over {duration:g} s "
+        f"(alexnet:3, nin:1 mix, 250 ms SLO)\n"
+    )
+    print(
+        format_table(
+            ["setup", "goodput/s", "p50 ms", "p95 ms", "shed", "batch", "util"],
+            rows,
+        )
+    )
+    cap1 = coster.capacity_rps("alexnet", 1)
+    cap16 = coster.capacity_rps("alexnet", 16)
+    print(
+        f"\nalexnet per-replica capacity: {cap1:.0f} req/s at batch 1, "
+        f"{cap16:.0f} req/s at batch 16 — batching amortizes the FC weight "
+        "streams the paper showed dominate single-image wall-clock."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,9 @@ Sub-packages:
 - :mod:`repro.analysis` — one driver per table/figure of the paper
 - :mod:`repro.perf` — schedule cache, parallel design-space executor,
   perf instrumentation (``docs/performance.md``)
+- :mod:`repro.serve` — multi-tenant serving simulator: seeded workloads,
+  admission queue, dynamic batching, replicas, SLO metrics
+  (``docs/serving.md``)
 """
 
 from repro.adaptive import plan_network, select_scheme

@@ -7,8 +7,11 @@ report
     and print them (the text form of Figs. 3/7/8/9/10 and Tables 4/5).
 plan NETWORK [--config 16-16] [--policy adaptive-2]
     Plan one network and print the per-layer schedule.
-select NETWORK [--config 16-16]
+select NETWORK [--config 16-16] [--json]
     Print Algorithm 2's per-layer scheme choices with reasons.
+serve [--mix alexnet:2,vgg:1] [--rate 100] [--duration 10] ...
+    Simulate a multi-tenant serving tier with dynamic batching and
+    SLO accounting (see ``docs/serving.md``).
 networks
     List the benchmark networks and their Table 2 characteristics.
 
@@ -124,8 +127,92 @@ def cmd_plan(args: argparse.Namespace) -> int:
 def cmd_select(args: argparse.Namespace) -> int:
     net = build(args.network)
     config = named_config(args.config)
-    for choice in choices_for_network(net, config):
+    choices = choices_for_network(net, config)
+    if args.json:
+        import json
+
+        payload = {
+            "network": net.name,
+            "config": config.name,
+            "choices": [
+                {"layer": c.layer_name, "scheme": c.scheme, "reason": c.reason}
+                for c in choices
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for choice in choices:
         print(f"{choice.layer_name:<26s} -> {choice.scheme:<15s} {choice.reason}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.serve import (
+        BatchPolicy,
+        QueuePolicy,
+        ServingEngine,
+        bursty_arrivals,
+        parse_mix,
+        poisson_arrivals,
+        render_summary,
+        trace_arrivals,
+    )
+
+    config = named_config(args.config)
+    tenants = parse_mix(args.mix, slo_ms=args.slo_ms)
+    if args.arrival == "poisson":
+        requests = poisson_arrivals(args.rate, args.duration, tenants, seed=args.seed)
+    elif args.arrival == "bursty":
+        requests = bursty_arrivals(
+            args.rate,
+            args.duration,
+            tenants,
+            seed=args.seed,
+            burst_factor=args.burst_factor,
+            burst_fraction=args.burst_fraction,
+            period_s=args.burst_period,
+        )
+    else:  # trace
+        if not args.trace:
+            raise ConfigError("--arrival trace requires --trace FILE")
+        requests = trace_arrivals(
+            args.trace, tenants, seed=args.seed, duration_s=args.duration
+        )
+    engine = ServingEngine(
+        config,
+        batch_policy=BatchPolicy(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        ),
+        queue_policy=QueuePolicy(
+            max_depth=args.queue_depth,
+            order=args.queue_order,
+            max_age_s=args.max_age_ms / 1e3 if args.max_age_ms else None,
+            shed_expired=args.shed_expired,
+        ),
+        replicas=args.replicas,
+        routing=args.routing,
+        plan_policy=args.policy,
+    )
+    report = engine.run(
+        requests,
+        args.duration,
+        extra_meta={
+            "arrival": args.arrival,
+            "mix": args.mix,
+            "rate_rps": args.rate,
+            "seed": args.seed,
+            "slo_ms": args.slo_ms,
+        },
+    )
+    if args.json == "-":
+        print(report.to_json(), end="")
+        return 0
+    print(render_summary(report.summary))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"\nmetrics JSON written to {args.json}")
     return 0
 
 
@@ -283,6 +370,67 @@ def main(argv=None) -> int:
     p_sel = sub.add_parser("select", help="show Algorithm 2 choices", parents=[perf_opts])
     p_sel.add_argument("network", choices=sorted(NETWORK_BUILDERS))
     p_sel.add_argument("--config", default="16-16")
+    p_sel.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the per-layer choices as machine-readable JSON",
+    )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="simulate multi-tenant serving with dynamic batching",
+        parents=[perf_opts],
+    )
+    p_srv.add_argument(
+        "--mix",
+        default="alexnet",
+        help='tenant mix, e.g. "alexnet:2,googlenet:1" (weights are traffic shares)',
+    )
+    p_srv.add_argument("--rate", type=float, default=100.0, help="mean arrival rate, req/s")
+    p_srv.add_argument("--duration", type=float, default=10.0, help="offered-load window, s")
+    p_srv.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    p_srv.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=["poisson", "bursty", "trace"],
+        help="arrival process",
+    )
+    p_srv.add_argument("--trace", default="", help="trace file for --arrival trace")
+    p_srv.add_argument("--burst-factor", type=float, default=4.0)
+    p_srv.add_argument("--burst-fraction", type=float, default=0.2)
+    p_srv.add_argument("--burst-period", type=float, default=1.0)
+    p_srv.add_argument("--slo-ms", type=float, default=250.0, help="per-request latency SLO")
+    p_srv.add_argument(
+        "--max-batch", type=int, default=16, help="dynamic batching cap (1 = batch-1 serving)"
+    )
+    p_srv.add_argument(
+        "--max-wait-ms", type=float, default=10.0, help="partial-batch dispatch timeout"
+    )
+    p_srv.add_argument("--queue-depth", type=int, default=256, help="admission queue bound")
+    p_srv.add_argument("--queue-order", default="fifo", choices=["fifo", "edf"])
+    p_srv.add_argument(
+        "--max-age-ms",
+        type=float,
+        default=0.0,
+        help="shed requests older than this at dispatch (0 = never)",
+    )
+    p_srv.add_argument(
+        "--shed-expired",
+        action="store_true",
+        help="shed requests already past their deadline at dispatch",
+    )
+    p_srv.add_argument("--replicas", type=int, default=1, help="accelerator instances")
+    p_srv.add_argument(
+        "--routing", default="round-robin", choices=["round-robin", "least-loaded"]
+    )
+    p_srv.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
+    p_srv.add_argument("--config", default="16-16")
+    p_srv.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the metrics JSON here ('-' = stdout only)",
+    )
 
     p_sim = sub.add_parser(
         "simulate",
@@ -329,6 +477,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "simulate": cmd_simulate,
         "networks": cmd_networks,
+        "serve": cmd_serve,
     }
 
     from repro.perf import schedule_cache, set_default_jobs

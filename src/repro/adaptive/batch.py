@@ -36,14 +36,28 @@ from repro.sim.trace import NetworkRun
 __all__ = ["BatchRun", "batch_layer", "plan_batch"]
 
 
+def _validate_batch_size(batch_size: int) -> None:
+    """Reject non-``int`` batch sizes loudly instead of scaling by them.
+
+    ``bool`` is an ``int`` subclass and floats multiply silently, so both
+    would otherwise produce a plausible-looking but meaningless plan.
+    """
+    if isinstance(batch_size, bool) or not isinstance(batch_size, int):
+        raise ConfigError(
+            f"batch size must be an int, got {batch_size!r} "
+            f"({type(batch_size).__name__})"
+        )
+    if batch_size <= 0:
+        raise ConfigError(f"batch size must be positive, got {batch_size!r}")
+
+
 def batch_layer(result: ScheduleResult, batch_size: int) -> ScheduleResult:
     """Scale one layer's single-image schedule to a batch.
 
     Weight buffer fills (and their DRAM words) stay at the single-image
     amount; everything image-linked multiplies by ``batch_size``.
     """
-    if batch_size <= 0:
-        raise ConfigError("batch size must be positive")
+    _validate_batch_size(batch_size)
     if batch_size == 1:
         return result
     b = batch_size
@@ -111,6 +125,7 @@ def plan_batch(
     """
     from repro.adaptive.planner import plan_network
 
+    _validate_batch_size(batch_size)
     with phase("plan_batch"):
         single = plan_network(net, config, policy, include_non_conv=include_non_conv)
         batched = NetworkRun(

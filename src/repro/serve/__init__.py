@@ -1,0 +1,69 @@
+"""Multi-tenant inference serving simulator (``repro serve``).
+
+The paper evaluates single forward passes; a deployed accelerator instead
+sees an open-loop stream of requests from many tenants, and its scheduling
+decisions are stressed by queueing, batching and overload — exactly the
+regime where batch-1 FC layers being DMA-bound (Sec. 5) turns into tail
+latency.  This package layers a discrete-event serving tier on top of the
+existing planning machinery:
+
+- :mod:`repro.serve.workload` — seeded Poisson/bursty/trace request
+  generators over a mix of zoo networks;
+- :mod:`repro.serve.queue` — bounded admission queue with FIFO/EDF
+  ordering and age/deadline load shedding;
+- :mod:`repro.serve.batcher` — max-batch + max-wait dynamic batch
+  formation, costed through :func:`repro.adaptive.batch.plan_batch` (and
+  therefore through the schedule cache);
+- :mod:`repro.serve.engine` — the event loop over one or more accelerator
+  replicas with round-robin or least-loaded routing;
+- :mod:`repro.serve.metrics` — per-tenant/per-network latency percentiles,
+  queue-wait vs. compute breakdown, goodput, shed rate and utilization,
+  exportable as byte-stable JSON.
+
+See ``docs/serving.md`` for the queueing model and the metrics glossary.
+"""
+
+from repro.serve.batcher import BatchCoster, BatchPolicy
+from repro.serve.engine import ReplicaState, ServingEngine, ServingReport, ROUTING_KINDS
+from repro.serve.metrics import (
+    MetricsCollector,
+    RequestRecord,
+    percentile,
+    render_summary,
+    to_json,
+)
+from repro.serve.queue import AdmissionQueue, QueuePolicy, ShedEvent, QUEUE_ORDERS
+from repro.serve.workload import (
+    ARRIVAL_KINDS,
+    Request,
+    TenantSpec,
+    bursty_arrivals,
+    parse_mix,
+    poisson_arrivals,
+    trace_arrivals,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "AdmissionQueue",
+    "BatchCoster",
+    "BatchPolicy",
+    "MetricsCollector",
+    "QUEUE_ORDERS",
+    "QueuePolicy",
+    "ROUTING_KINDS",
+    "ReplicaState",
+    "Request",
+    "RequestRecord",
+    "ServingEngine",
+    "ServingReport",
+    "ShedEvent",
+    "TenantSpec",
+    "bursty_arrivals",
+    "parse_mix",
+    "percentile",
+    "poisson_arrivals",
+    "render_summary",
+    "to_json",
+    "trace_arrivals",
+]

@@ -1,0 +1,236 @@
+"""The serving event loop: arrivals → queue → batches → replicas → metrics.
+
+A :class:`ServingEngine` advances *simulated accelerator time* (seconds)
+through exactly two kinds of events — a request arriving, and a batch
+becoming dispatchable on an available replica — so a run is a deterministic
+function of (workload, policies, config).  Batch service time comes from
+the planned :class:`~repro.adaptive.batch.BatchRun` for that (network,
+batch size) pair via :class:`~repro.serve.batcher.BatchCoster`; no wall
+clock is ever consulted.
+
+Replicas model independent accelerator instances sharing the admission
+queue.  Two routing disciplines:
+
+* ``round-robin`` — strict turn order: the next batch waits for the next
+  replica in the cycle, even if another is already idle (simple, fair,
+  and the baseline a smarter router must beat);
+* ``least-loaded`` — the batch goes to the replica that frees up
+  earliest (ties broken by replica id, for determinism).
+
+The loop drains the queue after the last arrival, so every admitted
+request is either completed or shed by the time :meth:`ServingEngine.run`
+returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.perf.instrument import phase
+from repro.serve.batcher import BatchCoster, BatchPolicy
+from repro.serve.metrics import MetricsCollector, RequestRecord, to_json
+from repro.serve.queue import AdmissionQueue, QueuePolicy
+from repro.serve.workload import Request
+
+__all__ = ["ReplicaState", "ServingEngine", "ServingReport", "ROUTING_KINDS"]
+
+ROUTING_KINDS = ("round-robin", "least-loaded")
+
+
+@dataclass
+class ReplicaState:
+    """One accelerator instance's occupancy bookkeeping."""
+
+    rid: int
+    free_at: float = 0.0
+    busy_s: float = 0.0
+    batches: int = 0
+
+
+class _Router:
+    """Picks the replica the next batch will run on."""
+
+    def __init__(self, replicas: List[ReplicaState], kind: str) -> None:
+        if kind not in ROUTING_KINDS:
+            raise ConfigError(
+                f"unknown routing {kind!r}; choose from {ROUTING_KINDS}"
+            )
+        self.replicas = replicas
+        self.kind = kind
+        self._next = 0
+
+    def peek(self) -> ReplicaState:
+        """The replica the next dispatch would use (no state change)."""
+        if self.kind == "round-robin":
+            return self.replicas[self._next]
+        return min(self.replicas, key=lambda r: (r.free_at, r.rid))
+
+    def commit(self) -> None:
+        """Advance the turn after a dispatch actually happened."""
+        if self.kind == "round-robin":
+            self._next = (self._next + 1) % len(self.replicas)
+
+
+@dataclass
+class ServingReport:
+    """Everything one simulated run produced."""
+
+    summary: Dict[str, object]
+    metrics: MetricsCollector
+    replicas: List[ReplicaState] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        """Canonical JSON of the summary (byte-stable across reruns)."""
+        return to_json(self.summary)
+
+
+class ServingEngine:
+    """Discrete-event simulator of a multi-tenant serving tier."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        batch_policy: BatchPolicy = BatchPolicy(),
+        queue_policy: QueuePolicy = QueuePolicy(),
+        replicas: int = 1,
+        routing: str = "round-robin",
+        plan_policy: str = "adaptive-2",
+        coster: Optional[BatchCoster] = None,
+    ) -> None:
+        if isinstance(replicas, bool) or not isinstance(replicas, int):
+            raise ConfigError(
+                f"replicas must be an int, got {replicas!r} "
+                f"({type(replicas).__name__})"
+            )
+        if replicas <= 0:
+            raise ConfigError(f"replicas must be positive, got {replicas!r}")
+        if routing not in ROUTING_KINDS:
+            raise ConfigError(
+                f"unknown routing {routing!r}; choose from {ROUTING_KINDS}"
+            )
+        self.config = config
+        self.batch_policy = batch_policy
+        self.queue_policy = queue_policy
+        self.n_replicas = replicas
+        self.routing = routing
+        self.plan_policy = plan_policy
+        self.coster = coster or BatchCoster(config, policy=plan_policy)
+
+    # -- the event loop ---------------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        duration_s: float,
+        extra_meta: Optional[Dict[str, object]] = None,
+    ) -> ServingReport:
+        """Simulate serving ``requests`` and reduce the result to a report.
+
+        ``duration_s`` is the offered-load window (rate denominators);
+        the loop itself runs past it until the queue fully drains.
+        """
+        if duration_s <= 0:
+            raise ConfigError(f"duration must be positive, got {duration_s!r}")
+        with phase("serve_run"):
+            return self._run(list(requests), duration_s, extra_meta)
+
+    def _ready_candidates(
+        self, queue: AdmissionQueue
+    ) -> List[Tuple[float, float, str]]:
+        """(ready_time, oldest_arrival, network) per non-empty group, sorted."""
+        out = []
+        for net in queue.networks():
+            oldest = queue.oldest_arrival(net)
+            ready = self.batch_policy.ready_time(oldest, queue.depth(net))
+            out.append((ready, oldest, net))
+        out.sort()
+        return out
+
+    def _run(
+        self,
+        requests: List[Request],
+        duration_s: float,
+        extra_meta: Optional[Dict[str, object]],
+    ) -> ServingReport:
+        requests.sort(key=lambda r: (r.arrival_s, r.rid))
+        queue = AdmissionQueue(self.queue_policy)
+        metrics = MetricsCollector()
+        replicas = [ReplicaState(rid) for rid in range(self.n_replicas)]
+        router = _Router(replicas, self.routing)
+
+        t = 0.0
+        i = 0
+        n = len(requests)
+        while i < n or len(queue):
+            # -- advance to the next event ------------------------------
+            next_times: List[float] = []
+            if i < n:
+                next_times.append(requests[i].arrival_s)
+            if len(queue):
+                ready = self._ready_candidates(queue)[0][0]
+                next_times.append(max(ready, router.peek().free_at))
+            t = max(t, min(next_times))
+
+            # -- ingest every arrival at or before t --------------------
+            while i < n and requests[i].arrival_s <= t:
+                request = requests[i]
+                shed = queue.offer(request, request.arrival_s)
+                if shed is not None:
+                    metrics.record_shed(request.tenant, shed.reason)
+                i += 1
+
+            # -- dispatch everything dispatchable at t ------------------
+            while len(queue):
+                replica = router.peek()
+                if replica.free_at > t:
+                    break
+                ready, _, network = self._ready_candidates(queue)[0]
+                if ready > t:
+                    break
+                batch, shed_events = queue.pop_batch(
+                    network, self.batch_policy.max_batch, t
+                )
+                for event in shed_events:
+                    metrics.record_shed(event.request.tenant, event.reason)
+                if not batch:
+                    continue
+                service = self.coster.batch_seconds(network, len(batch))
+                finish = t + service
+                replica.free_at = finish
+                replica.busy_s += service
+                replica.batches += 1
+                router.commit()
+                metrics.record_batch(len(batch))
+                for request in batch:
+                    metrics.record_completion(
+                        RequestRecord(
+                            rid=request.rid,
+                            tenant=request.tenant,
+                            network=request.network,
+                            arrival_s=request.arrival_s,
+                            start_s=t,
+                            finish_s=finish,
+                            deadline_s=request.deadline_s,
+                            batch_size=len(batch),
+                            replica=replica.rid,
+                        )
+                    )
+
+        busy_s = sum(r.busy_s for r in replicas)
+        summary = metrics.summary(duration_s, self.n_replicas, busy_s)
+        summary["engine"] = {
+            "config": self.config.name,
+            "plan_policy": self.plan_policy,
+            "batching": self.batch_policy.describe(),
+            "max_batch": self.batch_policy.max_batch,
+            "max_wait_ms": self.batch_policy.max_wait_ms,
+            "queue_depth": self.queue_policy.max_depth,
+            "queue_order": self.queue_policy.order,
+            "routing": self.routing,
+        }
+        if extra_meta:
+            summary["workload"] = dict(sorted(extra_meta.items()))
+        return ServingReport(summary=summary, metrics=metrics, replicas=replicas)

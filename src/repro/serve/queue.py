@@ -1,0 +1,136 @@
+"""Admission queue: bounded depth, deadline-aware ordering, load shedding.
+
+The queue is the pressure-relief valve between open-loop arrivals and the
+accelerator's finite service rate.  Three policies interact:
+
+* **bounded depth** — an arrival finding ``max_depth`` requests already
+  queued is rejected on the spot (backpressure to the caller);
+* **ordering** — within a network group, ``fifo`` serves in arrival order,
+  ``edf`` (earliest deadline first) serves the most urgent request first,
+  which trades mean latency for goodput when tenants carry mixed SLOs;
+* **age shedding** — at dispatch time, requests that have already waited
+  past ``max_age_s`` (or past their own deadline, with ``shed_expired``)
+  are dropped instead of burning accelerator cycles on an answer nobody
+  is waiting for anymore.
+
+Requests are grouped *per network* because a batch must share weights: the
+batcher can only fuse requests that run the same model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.serve.workload import Request
+
+__all__ = ["QueuePolicy", "AdmissionQueue", "ShedEvent", "QUEUE_ORDERS"]
+
+QUEUE_ORDERS = ("fifo", "edf")
+
+#: shed reasons, also the keys of the metrics shed breakdown
+SHED_QUEUE_FULL = "queue_full"
+SHED_MAX_AGE = "max_age"
+SHED_EXPIRED = "expired"
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Knobs governing admission, ordering and shedding."""
+
+    max_depth: int = 256
+    order: str = "fifo"
+    max_age_s: Optional[float] = None
+    shed_expired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_depth <= 0:
+            raise ConfigError(f"max_depth must be positive, got {self.max_depth!r}")
+        if self.order not in QUEUE_ORDERS:
+            raise ConfigError(
+                f"unknown queue order {self.order!r}; choose from {QUEUE_ORDERS}"
+            )
+        if self.max_age_s is not None and self.max_age_s <= 0:
+            raise ConfigError(f"max_age_s must be positive, got {self.max_age_s!r}")
+
+
+@dataclass(frozen=True)
+class ShedEvent:
+    """One dropped request and why."""
+
+    request: Request
+    reason: str
+    time_s: float
+
+
+class AdmissionQueue:
+    """Per-network request queues under one :class:`QueuePolicy`."""
+
+    def __init__(self, policy: QueuePolicy = QueuePolicy()) -> None:
+        self.policy = policy
+        self._groups: Dict[str, List[Request]] = {}
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def depth(self, network: Optional[str] = None) -> int:
+        if network is None:
+            return self._depth
+        return len(self._groups.get(network, ()))
+
+    def networks(self) -> List[str]:
+        """Networks with queued requests, in deterministic name order."""
+        return sorted(name for name, group in self._groups.items() if group)
+
+    def oldest_arrival(self, network: str) -> float:
+        """Arrival time of the longest-waiting request for ``network``."""
+        group = self._groups[network]
+        return min(r.arrival_s for r in group)
+
+    # -- admission --------------------------------------------------------
+
+    def offer(self, request: Request, now: float) -> Optional[ShedEvent]:
+        """Admit ``request`` or return the :class:`ShedEvent` rejecting it."""
+        if self._depth >= self.policy.max_depth:
+            return ShedEvent(request, SHED_QUEUE_FULL, now)
+        self._groups.setdefault(request.network, []).append(request)
+        self._depth += 1
+        return None
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _sort_key(self, request: Request) -> Tuple:
+        if self.policy.order == "edf":
+            return (request.deadline_s, request.arrival_s, request.rid)
+        return (request.arrival_s, request.rid)
+
+    def pop_batch(
+        self, network: str, max_batch: int, now: float
+    ) -> Tuple[List[Request], List[ShedEvent]]:
+        """Take up to ``max_batch`` servable requests for ``network``.
+
+        Requests that aged out (or expired) while queued are shed rather
+        than returned; shedding continues past them so a stale head of the
+        queue cannot starve fresh requests behind it.
+        """
+        group = self._groups.get(network, [])
+        group.sort(key=self._sort_key)
+        batch: List[Request] = []
+        shed: List[ShedEvent] = []
+        kept: List[Request] = []
+        for request in group:
+            if len(batch) >= max_batch:
+                kept.append(request)
+                continue
+            age = now - request.arrival_s
+            if self.policy.max_age_s is not None and age > self.policy.max_age_s:
+                shed.append(ShedEvent(request, SHED_MAX_AGE, now))
+            elif self.policy.shed_expired and now > request.deadline_s:
+                shed.append(ShedEvent(request, SHED_EXPIRED, now))
+            else:
+                batch.append(request)
+        self._groups[network] = kept
+        self._depth -= len(batch) + len(shed)
+        return batch, shed

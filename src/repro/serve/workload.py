@@ -1,0 +1,260 @@
+"""Request generators for the serving simulator.
+
+A *workload* is a time-ordered list of :class:`Request` records: who wants
+an inference (tenant), on which zoo network, when it arrives, and by when
+the answer is due (the tenant's SLO).  Three arrival processes cover the
+traffic shapes a deployed accelerator sees:
+
+* :func:`poisson_arrivals` — memoryless open-loop traffic at a fixed mean
+  rate, the classic serving benchmark;
+* :func:`bursty_arrivals` — an on/off modulated Poisson process (same mean
+  rate, traffic squeezed into periodic bursts) that stresses the queue and
+  the load-shedding policy;
+* :func:`trace_arrivals` — replay recorded arrival times from a file, for
+  apples-to-apples comparisons against production traces.
+
+Every generator is driven by :class:`random.Random` seeded explicitly, so
+the same seed always produces the identical request sequence — the whole
+simulation downstream is deterministic because its input is.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "TenantSpec",
+    "Request",
+    "parse_mix",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "trace_arrivals",
+    "ARRIVAL_KINDS",
+]
+
+ARRIVAL_KINDS = ("poisson", "bursty", "trace")
+
+#: default per-request latency SLO when a mix spec does not name one
+DEFAULT_SLO_MS = 250.0
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One traffic source: a named tenant pinned to one zoo network."""
+
+    name: str
+    network: str
+    weight: float = 1.0
+    slo_ms: float = DEFAULT_SLO_MS
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: weight must be positive, got {self.weight!r}"
+            )
+        if self.slo_ms <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: slo_ms must be positive, got {self.slo_ms!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request in simulated time (seconds)."""
+
+    rid: int
+    tenant: str
+    network: str
+    arrival_s: float
+    deadline_s: float
+
+    def slo_s(self) -> float:
+        return self.deadline_s - self.arrival_s
+
+
+def _validate_tenants(tenants: Sequence[TenantSpec]) -> None:
+    from repro.nn.zoo import NETWORK_BUILDERS
+
+    if not tenants:
+        raise ConfigError("workload needs at least one tenant")
+    seen = set()
+    for t in tenants:
+        if t.name in seen:
+            raise ConfigError(f"duplicate tenant name {t.name!r}")
+        seen.add(t.name)
+        if t.network not in NETWORK_BUILDERS:
+            raise ConfigError(
+                f"tenant {t.name!r}: unknown network {t.network!r}; "
+                f"choose from {sorted(NETWORK_BUILDERS)}"
+            )
+
+
+def parse_mix(spec: str, slo_ms: float = DEFAULT_SLO_MS) -> List[TenantSpec]:
+    """Parse a CLI mix spec like ``"alexnet:2,googlenet:1"``.
+
+    Each entry is ``network[:weight]``; the tenant is named after its
+    network.  Weights are relative traffic shares.
+    """
+    tenants: List[TenantSpec] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, weight_s = entry.partition(":")
+        try:
+            weight = float(weight_s) if weight_s else 1.0
+        except ValueError:
+            raise ConfigError(f"bad weight {weight_s!r} in mix entry {entry!r}") from None
+        tenants.append(TenantSpec(name=name, network=name, weight=weight, slo_ms=slo_ms))
+    _validate_tenants(tenants)
+    return tenants
+
+
+def _pick_tenant(rng: random.Random, tenants: Sequence[TenantSpec]) -> TenantSpec:
+    total = sum(t.weight for t in tenants)
+    x = rng.random() * total
+    for t in tenants:
+        x -= t.weight
+        if x < 0:
+            return t
+    return tenants[-1]
+
+
+def _make_request(
+    rid: int, tenant: TenantSpec, arrival_s: float
+) -> Request:
+    return Request(
+        rid=rid,
+        tenant=tenant.name,
+        network=tenant.network,
+        arrival_s=arrival_s,
+        deadline_s=arrival_s + tenant.slo_ms / 1e3,
+    )
+
+
+def poisson_arrivals(
+    rate: float,
+    duration_s: float,
+    tenants: Sequence[TenantSpec],
+    seed: int = 0,
+) -> List[Request]:
+    """Open-loop Poisson traffic: ``rate`` requests/second for ``duration_s``."""
+    if rate <= 0:
+        raise ConfigError(f"arrival rate must be positive, got {rate!r}")
+    if duration_s <= 0:
+        raise ConfigError(f"duration must be positive, got {duration_s!r}")
+    _validate_tenants(tenants)
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    t = rng.expovariate(rate)
+    while t < duration_s:
+        tenant = _pick_tenant(rng, tenants)
+        requests.append(_make_request(len(requests), tenant, t))
+        t += rng.expovariate(rate)
+    return requests
+
+
+def bursty_arrivals(
+    rate: float,
+    duration_s: float,
+    tenants: Sequence[TenantSpec],
+    seed: int = 0,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.2,
+    period_s: float = 1.0,
+) -> List[Request]:
+    """On/off modulated Poisson traffic with the same *mean* rate.
+
+    Each ``period_s`` window starts with a burst lasting
+    ``burst_fraction`` of the period at ``burst_factor`` times the mean
+    rate; the remainder of the period runs at a reduced rate chosen so the
+    long-run average stays ``rate``.  ``burst_factor * burst_fraction``
+    must not exceed 1 (the off-phase rate cannot go negative).
+    """
+    if rate <= 0:
+        raise ConfigError(f"arrival rate must be positive, got {rate!r}")
+    if duration_s <= 0:
+        raise ConfigError(f"duration must be positive, got {duration_s!r}")
+    if burst_factor < 1:
+        raise ConfigError(f"burst_factor must be >= 1, got {burst_factor!r}")
+    if not 0 < burst_fraction < 1:
+        raise ConfigError(f"burst_fraction must be in (0, 1), got {burst_fraction!r}")
+    if period_s <= 0:
+        raise ConfigError(f"period_s must be positive, got {period_s!r}")
+    if burst_factor * burst_fraction > 1:
+        raise ConfigError(
+            "burst_factor * burst_fraction must be <= 1 so the off-phase "
+            f"rate stays non-negative, got {burst_factor * burst_fraction!r}"
+        )
+    _validate_tenants(tenants)
+    on_rate = rate * burst_factor
+    off_rate = rate * (1 - burst_factor * burst_fraction) / (1 - burst_fraction)
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    # thinning: draw candidates at the envelope (burst) rate, accept each
+    # with probability rate(t)/on_rate — an exact non-homogeneous Poisson
+    # sampler, so the long-run mean stays `rate` with no phase-edge bias
+    t = 0.0
+    while True:
+        t += rng.expovariate(on_rate)
+        if t >= duration_s:
+            break
+        phase = (t % period_s) / period_s
+        current = on_rate if phase < burst_fraction else off_rate
+        if rng.random() * on_rate >= current:
+            continue
+        tenant = _pick_tenant(rng, tenants)
+        requests.append(_make_request(len(requests), tenant, t))
+    return requests
+
+
+def trace_arrivals(
+    path: str,
+    tenants: Sequence[TenantSpec],
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+) -> List[Request]:
+    """Replay arrival times from a trace file.
+
+    Each non-empty, non-``#`` line is ``<arrival_seconds>[,<tenant>]``.
+    Lines without a tenant are assigned one by weighted draw (seeded, so
+    replay is deterministic).  Arrivals are sorted; ``duration_s`` truncates
+    the trace when given.
+    """
+    _validate_tenants(tenants)
+    by_name = {t.name: t for t in tenants}
+    rng = random.Random(seed)
+    rows = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            time_s, _, tenant_name = line.partition(",")
+            try:
+                arrival = float(time_s)
+            except ValueError:
+                raise ConfigError(
+                    f"{path}:{lineno}: bad arrival time {time_s!r}"
+                ) from None
+            if arrival < 0:
+                raise ConfigError(f"{path}:{lineno}: negative arrival time {arrival!r}")
+            tenant_name = tenant_name.strip()
+            if tenant_name and tenant_name not in by_name:
+                raise ConfigError(
+                    f"{path}:{lineno}: unknown tenant {tenant_name!r}; "
+                    f"trace tenants must be in {sorted(by_name)}"
+                )
+            rows.append((arrival, tenant_name))
+    rows.sort(key=lambda r: r[0])
+    requests: List[Request] = []
+    for arrival, tenant_name in rows:
+        if duration_s is not None and arrival >= duration_s:
+            break
+        tenant = by_name[tenant_name] if tenant_name else _pick_tenant(rng, tenants)
+        requests.append(_make_request(len(requests), tenant, arrival))
+    return requests

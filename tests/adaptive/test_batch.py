@@ -31,6 +31,19 @@ class TestBatchLayer:
         with pytest.raises(ConfigError):
             batch_layer(single, 0)
 
+    @pytest.mark.parametrize("bad", [True, False, 4.0, 2.5, "8", None])
+    def test_non_int_batch_rejected(self, alexnet, cfg16, bad):
+        single = plan_network(alexnet, cfg16, "adaptive-2").layers[0]
+        with pytest.raises(ConfigError, match="must be an int"):
+            batch_layer(single, bad)
+
+    def test_error_names_the_offending_value(self, alexnet, cfg16):
+        single = plan_network(alexnet, cfg16, "adaptive-2").layers[0]
+        with pytest.raises(ConfigError, match=r"4\.0.*float"):
+            batch_layer(single, 4.0)
+        with pytest.raises(ConfigError, match="-3"):
+            batch_layer(single, -3)
+
 
 class TestPlanBatch:
     def test_batch1_matches_plan_network(self, alexnet, cfg16):
@@ -62,6 +75,11 @@ class TestPlanBatch:
         b1 = plan_batch(alexnet, cfg16, batch_size=1)
         b16 = plan_batch(alexnet, cfg16, batch_size=16)
         assert b16.latency_ms() > b1.latency_ms()
+
+    @pytest.mark.parametrize("bad", [True, 16.0, "16", None, 2.5])
+    def test_plan_batch_rejects_non_int(self, alexnet, cfg16, bad):
+        with pytest.raises(ConfigError, match="must be an int"):
+            plan_batch(alexnet, cfg16, batch_size=bad)
 
     def test_cycles_per_image_decreases(self, alexnet, cfg16):
         b1 = plan_batch(alexnet, cfg16, batch_size=1)

@@ -70,6 +70,13 @@ def test_architecture_comparison():
     assert "dataflow gain" in out
 
 
+def test_serving_demo():
+    out = run_example("serving_demo.py", "100", "3")
+    assert "batch-1" in out
+    assert "dynamic x2" in out
+    assert "per-replica capacity" in out
+
+
 def test_examples_directory_is_covered():
     """Every shipped example has a test here."""
     shipped = {p.name for p in EXAMPLES.glob("*.py")}
@@ -81,5 +88,6 @@ def test_examples_directory_is_covered():
         "batched_deployment.py",
         "compile_and_inspect.py",
         "architecture_comparison.py",
+        "serving_demo.py",
     }
     assert shipped == tested

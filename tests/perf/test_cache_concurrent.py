@@ -1,0 +1,138 @@
+"""Schedule cache under concurrency: the serving tier's access pattern.
+
+``repro serve`` hammers the cache in two ways at once: many threads of the
+same process re-plan batches through the shared ``schedule_cache``, and
+``parallel_map`` fans whole plans out to worker *processes* (each worker
+warms its own process-local cache).  These tests pin down both properties:
+results must be bit-identical with/without the cache and with/without a
+pool, and the shared cache's counters must stay consistent (no lost or
+double-counted lookups) under a thread race.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.adaptive.planner import plan_network
+from repro.arch.config import CONFIG_16_16
+from repro.nn.zoo import build
+from repro.perf.cache import ScheduleCache, schedule_cache
+from repro.perf.parallel import parallel_map
+
+NETWORKS = ("alexnet", "googlenet", "vgg", "nin")
+
+
+def _fingerprint(run):
+    return (
+        run.network_name,
+        run.total_cycles,
+        run.buffer_accesses,
+        run.dram_words,
+        run.input_reorder_words,
+        tuple(
+            (r.layer_name, r.scheme, r.operations, r.dram_words, r.total_cycles)
+            for r in run.layers
+        ),
+    )
+
+
+def _plan_one(name):
+    """Module-level so it pickles across the process boundary."""
+    return _fingerprint(plan_network(build(name), CONFIG_16_16, "adaptive-2"))
+
+
+def _plan_many(names, jobs):
+    return parallel_map(_plan_one, names, jobs=jobs)
+
+
+class TestParallelMapHammering:
+    """Worker processes re-deriving schedules must agree with the parent."""
+
+    def test_parallel_results_bit_identical_with_and_without_cache(self):
+        work = list(NETWORKS) * 3  # repeats force cache hits where enabled
+        schedule_cache.configure(enabled=True)
+        schedule_cache.clear()
+        cached_serial = _plan_many(work, jobs=1)
+        cached_parallel = _plan_many(work, jobs=4)
+        schedule_cache.configure(enabled=False)
+        try:
+            uncached_serial = _plan_many(work, jobs=1)
+            uncached_parallel = _plan_many(work, jobs=4)
+        finally:
+            schedule_cache.configure(enabled=True)
+        assert cached_serial == uncached_serial
+        assert cached_parallel == uncached_parallel
+        assert cached_serial == cached_parallel
+
+    def test_parent_stats_consistent_after_fanout(self):
+        schedule_cache.configure(enabled=True)
+        schedule_cache.clear()
+        _plan_many(list(NETWORKS) * 2, jobs=4)
+        stats = schedule_cache.stats()
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.size <= stats.maxsize
+        # every entry the parent holds was stored by a counted miss
+        assert stats.size <= stats.misses + stats.evictions or stats.lookups == 0
+
+
+class TestThreadedHammering:
+    """Many threads sharing one cache instance (the in-process serve path)."""
+
+    def test_threaded_plans_identical_and_counters_add_up(self):
+        cache = ScheduleCache(maxsize=512)
+        reference = {name: _plan_one(name) for name in NETWORKS}
+        results = []
+        errors = []
+        lock = threading.Lock()
+
+        def worker(name, rounds=5):
+            try:
+                for _ in range(rounds):
+                    fp = _fingerprint(
+                        plan_network(build(name), CONFIG_16_16, "adaptive-2")
+                    )
+                    with lock:
+                        results.append((name, fp))
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in NETWORKS
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == len(NETWORKS) * 3 * 5
+        for name, fp in results:
+            assert fp == reference[name], name
+
+    def test_shared_cache_counters_race_free(self):
+        """hits + misses must equal the exact number of lookups issued."""
+        cache = ScheduleCache(maxsize=4096)
+        net = build("vgg")
+        contexts = list(net.conv_contexts())
+        rounds = 10
+        n_threads = 8
+
+        def worker():
+            for _ in range(rounds):
+                for ctx in contexts:
+                    cache.get_or_schedule("intra", ctx, CONFIG_16_16)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats()
+        assert stats.lookups == n_threads * rounds * len(contexts)
+        assert stats.lookups == stats.hits + stats.misses
+        # identical geometries may race to a miss, but the cache can never
+        # report fewer misses than distinct stored entries
+        assert stats.misses >= stats.size
+        assert stats.evictions == 0

@@ -1,0 +1,125 @@
+"""The ``repro serve`` subcommand and ``repro select --json`` (satellite)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestServeCommand:
+    def test_default_run(self, capsys):
+        assert main(["serve", "--rate", "60", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "alexnet" in out
+
+    def test_acceptance_invocation_is_deterministic(self, tmp_path, capsys):
+        """`repro serve --rate 100 --duration 10 --seed 0` twice -> same bytes."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        args = ["serve", "--rate", "100", "--duration", "10", "--seed", "0"]
+        assert main(args + ["--json", str(a)]) == 0
+        assert main(args + ["--json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        summary = json.loads(a.read_text())
+        assert summary["offered"] == summary["completed"] + summary["shed"]
+        assert summary["workload"]["seed"] == 0
+
+    def test_json_to_stdout(self, capsys):
+        rc = main(
+            ["serve", "--rate", "50", "--duration", "1", "--json", "-"]
+        )
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["engine"]["batching"].startswith("dynamic")
+        assert summary["replicas"] == 1
+
+    def test_mix_and_knobs(self, capsys):
+        rc = main(
+            [
+                "serve",
+                "--mix",
+                "alexnet:2,nin:1",
+                "--rate",
+                "40",
+                "--duration",
+                "2",
+                "--max-batch",
+                "4",
+                "--replicas",
+                "2",
+                "--routing",
+                "least-loaded",
+                "--queue-order",
+                "edf",
+                "--json",
+                "-",
+            ]
+        )
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert set(summary["per_tenant"]) == {"alexnet", "nin"}
+        assert summary["engine"]["routing"] == "least-loaded"
+        assert summary["engine"]["max_batch"] == 4
+
+    def test_bursty_arrival(self, capsys):
+        rc = main(
+            [
+                "serve",
+                "--arrival",
+                "bursty",
+                "--rate",
+                "40",
+                "--duration",
+                "2",
+                "--json",
+                "-",
+            ]
+        )
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["workload"]["arrival"] == "bursty"
+
+    def test_trace_arrival(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("0.01\n0.02\n0.50\n")
+        rc = main(
+            [
+                "serve",
+                "--arrival",
+                "trace",
+                "--trace",
+                str(trace),
+                "--duration",
+                "1",
+                "--json",
+                "-",
+            ]
+        )
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["offered"] == 3
+
+    def test_trace_requires_file(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="--trace"):
+            main(["serve", "--arrival", "trace", "--duration", "1"])
+
+
+class TestSelectJson:
+    def test_select_json_machine_readable(self, capsys):
+        assert main(["select", "alexnet", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"] == "alexnet"
+        assert payload["config"]
+        choices = payload["choices"]
+        assert choices and {"layer", "scheme", "reason"} <= set(choices[0])
+        schemes = {c["scheme"] for c in choices}
+        assert schemes <= {"intra", "inter", "inter-improved", "partition"}
+
+    def test_select_plain_unchanged(self, capsys):
+        assert main(["select", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out and "{" not in out

@@ -1,0 +1,134 @@
+"""Percentile math, summary reduction, and byte-stable JSON export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.metrics import (
+    MetricsCollector,
+    RequestRecord,
+    percentile,
+    to_json,
+)
+
+
+def rec(rid, arrival, start, finish, deadline, tenant="t", network="alexnet", batch=1):
+    return RequestRecord(
+        rid=rid,
+        tenant=tenant,
+        network=network,
+        arrival_s=arrival,
+        start_s=start,
+        finish_s=finish,
+        deadline_s=deadline,
+        batch_size=batch,
+        replica=0,
+    )
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 95) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_order_independent(self):
+        assert percentile([3, 1, 2], 50) == percentile([1, 2, 3], 50)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestRequestRecord:
+    def test_derived_times(self):
+        r = rec(0, arrival=1.0, start=1.2, finish=1.5, deadline=1.6)
+        assert r.queue_wait_s == pytest.approx(0.2)
+        assert r.service_s == pytest.approx(0.3)
+        assert r.latency_s == pytest.approx(0.5)
+        assert r.met_deadline
+
+    def test_missed_deadline(self):
+        r = rec(0, arrival=1.0, start=1.2, finish=1.7, deadline=1.6)
+        assert not r.met_deadline
+
+
+class TestSummary:
+    def _collector(self):
+        m = MetricsCollector()
+        # two tenants, one missed deadline, one shed
+        m.record_completion(rec(0, 0.0, 0.1, 0.2, 0.5, tenant="a"))
+        m.record_completion(rec(1, 0.0, 0.3, 0.9, 0.5, tenant="a"))
+        m.record_completion(rec(2, 0.5, 0.5, 0.6, 1.0, tenant="b", network="nin"))
+        m.record_batch(2)
+        m.record_batch(1)
+        m.record_shed("a", "queue_full")
+        return m
+
+    def test_counts_and_rates(self):
+        s = self._collector().summary(duration_s=1.0, replicas=1, busy_s=0.7)
+        assert s["offered"] == 4
+        assert s["completed"] == 3
+        assert s["shed"] == 1
+        assert s["shed_rate"] == pytest.approx(0.25)
+        assert s["deadline_met"] == 2
+        assert s["goodput_rps"] == pytest.approx(2.0)
+        assert s["throughput_rps"] == pytest.approx(3.0)
+        assert s["shed_by_reason"] == {"queue_full": 1}
+
+    def test_per_tenant_split(self):
+        s = self._collector().summary(duration_s=1.0, replicas=1, busy_s=0.7)
+        assert set(s["per_tenant"]) == {"a", "b"}
+        assert s["per_tenant"]["a"]["offered"] == 3
+        assert s["per_tenant"]["a"]["shed"] == 1
+        assert s["per_tenant"]["b"]["completed"] == 1
+        assert set(s["per_network"]) == {"alexnet", "nin"}
+
+    def test_utilization_uses_makespan(self):
+        s = self._collector().summary(duration_s=0.5, replicas=2, busy_s=0.9)
+        # makespan = last finish (0.9) > duration (0.5)
+        assert s["makespan_s"] == pytest.approx(0.9)
+        assert s["utilization"] == pytest.approx(0.9 / (2 * 0.9))
+
+    def test_queue_wait_fraction(self):
+        s = self._collector().summary(duration_s=1.0, replicas=1, busy_s=0.7)
+        wait = 0.1 + 0.3 + 0.0
+        service = 0.1 + 0.6 + 0.1
+        assert s["queue_wait_fraction"] == pytest.approx(
+            wait / (wait + service), abs=1e-6
+        )
+
+    def test_empty_collector(self):
+        s = MetricsCollector().summary(duration_s=1.0, replicas=1, busy_s=0.0)
+        assert s["offered"] == 0
+        assert s["latency_ms"]["p95"] == 0.0
+        assert s["utilization"] == 0.0
+
+
+class TestJson:
+    def test_round_trips(self):
+        m = MetricsCollector()
+        m.record_completion(rec(0, 0.0, 0.1, 0.2, 0.5))
+        text = to_json(m.summary(1.0, 1, 0.1))
+        assert text.endswith("\n")
+        assert json.loads(text)["completed"] == 1
+
+    def test_byte_stable(self):
+        def build():
+            m = MetricsCollector()
+            m.record_completion(rec(0, 0.0, 0.1, 0.2, 0.5))
+            m.record_shed("t", "max_age")
+            return to_json(m.summary(1.0, 1, 0.1))
+
+        assert build() == build()
