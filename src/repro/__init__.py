@@ -30,6 +30,9 @@ Sub-packages:
 - :mod:`repro.serve` — multi-tenant serving simulator: seeded workloads,
   admission queue, dynamic batching, replicas, SLO metrics
   (``docs/serving.md``)
+- :mod:`repro.cluster` — multi-accelerator sharding: inter-chip link
+  model, layer-pipeline partitioning (optimal DP balancer), batch-sharded
+  data parallelism, serving adapter (``docs/sharding.md``)
 """
 
 from repro.adaptive import plan_network, select_scheme

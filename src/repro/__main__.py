@@ -12,6 +12,9 @@ select NETWORK [--config 16-16] [--json]
 serve [--mix alexnet:2,vgg:1] [--rate 100] [--duration 10] ...
     Simulate a multi-tenant serving tier with dynamic batching and
     SLO accounting (see ``docs/serving.md``).
+shard NETWORK [--chips 4] [--strategy pipeline|data-parallel] ...
+    Partition a network across multiple accelerator chips with an
+    inter-chip link model (see ``docs/sharding.md``).
 networks
     List the benchmark networks and their Table 2 characteristics.
 
@@ -213,6 +216,122 @@ def cmd_serve(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
         print(f"\nmetrics JSON written to {args.json}")
+    return 0
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        LinkSpec,
+        plan_data_parallel,
+        plan_pipeline,
+        rollup,
+        to_json,
+    )
+
+    net = build(args.network)
+    config = named_config(args.config)
+    link = LinkSpec(
+        bandwidth_gbs=args.link_gbs, latency_s=args.link_latency_us / 1e6
+    )
+    if args.strategy == "pipeline":
+        plan = plan_pipeline(
+            net,
+            config,
+            args.chips,
+            link=link,
+            policy=args.policy,
+            strategy=args.partition,
+        )
+    else:
+        plan = plan_data_parallel(
+            net,
+            config,
+            args.chips,
+            link=link,
+            batch_size=args.batch,
+            policy=args.policy,
+        )
+    summary = rollup(plan)
+    if args.json == "-":
+        print(to_json(summary), end="")
+        return 0
+    print(
+        f"{net.name} across {args.chips} x {config.name} chips, "
+        f"{args.strategy}"
+        + (f" ({args.partition} balancer)" if args.strategy == "pipeline" else "")
+        + f", {link.describe()}"
+    )
+    print()
+    if args.strategy == "pipeline":
+        from repro.analysis.report import format_table
+
+        rows = []
+        for s in plan.stages:
+            span = (
+                s.layer_names[0]
+                if len(s.layer_names) == 1
+                else f"{s.layer_names[0]}..{s.layer_names[-1]}"
+            )
+            rows.append(
+                [
+                    str(s.chip),
+                    f"{span} ({len(s.layer_names)})",
+                    f"{s.compute_s * 1e3:.3f}",
+                    f"{s.send_s * 1e3:.3f}",
+                    f"{plan.utilization(s.chip):.1%}",
+                    f"{plan.link_occupancy(s.chip):.1%}",
+                ]
+            )
+        print(
+            format_table(
+                ["chip", "layers", "compute ms", "send ms", "util", "link"], rows
+            )
+        )
+        print(
+            f"\nbottleneck {plan.bottleneck_s * 1e3:.3f} ms -> "
+            f"{plan.throughput_ips:.1f} img/s steady state; "
+            f"fill {plan.fill_latency_s * 1e3:.3f} ms, "
+            f"drain {plan.drain_latency_s * 1e3:.3f} ms"
+        )
+        if args.partition == "dp":
+            even = plan_pipeline(
+                net,
+                config,
+                args.chips,
+                link=link,
+                policy=args.policy,
+                strategy="even",
+            )
+            ratio = even.bottleneck_s / plan.bottleneck_s
+            print(
+                f"even-split baseline bottleneck {even.bottleneck_s * 1e3:.3f} ms "
+                f"(dp balancer is {ratio:.2f}x better)"
+            )
+    else:
+        from repro.analysis.report import format_table
+
+        rows = [
+            [
+                str(s.chip),
+                str(s.batch),
+                f"{s.compute_s * 1e3:.3f}",
+                f"{plan.utilization(s.chip):.1%}",
+            ]
+            for s in plan.shards
+        ]
+        print(format_table(["chip", "batch", "compute ms", "util"], rows))
+        print(
+            f"\nstep {plan.step_s * 1e3:.3f} ms "
+            f"(scatter {plan.scatter_s * 1e3:.3f}, gather {plan.gather_s * 1e3:.3f}) "
+            f"-> {plan.throughput_ips:.1f} img/s, "
+            f"speedup {plan.speedup:.2f}x vs 1 chip "
+            f"(efficiency {plan.efficiency:.1%}), "
+            f"link busy {plan.link_occupancy:.1%}"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(to_json(summary))
+        print(f"\nsharding JSON written to {args.json}")
     return 0
 
 
@@ -432,6 +551,52 @@ def main(argv=None) -> int:
         help="write the metrics JSON here ('-' = stdout only)",
     )
 
+    p_shard = sub.add_parser(
+        "shard",
+        help="partition a network across multiple accelerator chips",
+        parents=[perf_opts],
+    )
+    p_shard.add_argument("network", choices=sorted(NETWORK_BUILDERS))
+    p_shard.add_argument("--chips", type=int, default=2, help="accelerator instances")
+    p_shard.add_argument(
+        "--strategy",
+        default="pipeline",
+        choices=["pipeline", "data-parallel"],
+        help="layer pipeline vs batch-sharded replication",
+    )
+    p_shard.add_argument(
+        "--partition",
+        default="dp",
+        choices=["dp", "even"],
+        help="pipeline balancer: optimal DP or naive even-by-count split",
+    )
+    p_shard.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="global batch for data-parallel (default: one image per chip)",
+    )
+    p_shard.add_argument(
+        "--link-gbs",
+        type=float,
+        default=25.0,
+        help="inter-chip link bandwidth, GB/s",
+    )
+    p_shard.add_argument(
+        "--link-latency-us",
+        type=float,
+        default=1.0,
+        help="fixed per-transfer hop latency, microseconds",
+    )
+    p_shard.add_argument("--config", default="16-16")
+    p_shard.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
+    p_shard.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the rollup JSON here ('-' = stdout only)",
+    )
+
     p_sim = sub.add_parser(
         "simulate",
         help="compile, lint and machine-execute a network",
@@ -478,6 +643,7 @@ def main(argv=None) -> int:
         "simulate": cmd_simulate,
         "networks": cmd_networks,
         "serve": cmd_serve,
+        "shard": cmd_shard,
     }
 
     from repro.perf import schedule_cache, set_default_jobs

@@ -61,22 +61,25 @@ class AcceleratorConfig:
     overlap_streams: bool = True
 
     def __post_init__(self) -> None:
-        if self.tin <= 0 or self.tout <= 0:
-            raise ConfigError(f"PE widths must be positive, got {self.tin}-{self.tout}")
+        if self.tin <= 0:
+            raise ConfigError(f"tin must be positive, got {self.tin!r}")
+        if self.tout <= 0:
+            raise ConfigError(f"tout must be positive, got {self.tout!r}")
         for attr in (
             "input_buffer_bytes",
             "output_buffer_bytes",
             "weight_buffer_bytes",
             "bias_buffer_bytes",
+            "word_bytes",
+            "dram_words_per_cycle",
         ):
-            if getattr(self, attr) <= 0:
-                raise ConfigError(f"{attr} must be positive")
-        if self.word_bytes <= 0:
-            raise ConfigError("word_bytes must be positive")
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ConfigError(f"{attr} must be positive, got {value!r}")
         if self.frequency_hz <= 0:
-            raise ConfigError("frequency_hz must be positive")
-        if self.dram_words_per_cycle <= 0:
-            raise ConfigError("dram_words_per_cycle must be positive")
+            raise ConfigError(
+                f"frequency_hz must be positive, got {self.frequency_hz!r}"
+            )
 
     @property
     def multipliers(self) -> int:
@@ -122,11 +125,21 @@ class AcceleratorConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, float]) -> "AcceleratorConfig":
-        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are a hard error naming each unexpected key (a typoed
+        knob silently falling back to its default would be far worse), and
+        the constructor's validation rejects non-positive values with the
+        offending value in the message.
+        """
         fields = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(data) - fields
+        unknown = sorted(set(data) - fields)
         if unknown:
-            raise ConfigError(f"unknown config keys: {sorted(unknown)}")
+            noun = "key" if len(unknown) == 1 else "keys"
+            raise ConfigError(
+                f"unknown config {noun} {', '.join(map(repr, unknown))}; "
+                f"valid keys: {sorted(fields)}"
+            )
         return cls(**data)
 
 

@@ -1,0 +1,73 @@
+"""Multi-accelerator sharding (``repro shard``).
+
+C-Brain's kernel partitioning keeps every PE of *one* chip aligned and
+busy; this package lifts the same resource-partitioning idea to chip
+granularity, in the spirit of Shen et al. (multiple convolutional
+processors sized to layer subsets) and Jung et al. (stage partitioning to
+shape link/memory traffic):
+
+- :mod:`repro.cluster.link` — inter-chip link model: bandwidth GB/s plus a
+  fixed per-transfer hop latency, costing activation handoffs by bytes;
+- :mod:`repro.cluster.pipeline` — contiguous layer-pipeline partitioning
+  with an optimal DP bottleneck balancer (link cost included) and the
+  naive even-split baseline;
+- :mod:`repro.cluster.dataparallel` — batch-sharded replication with
+  scatter/gather over the same link model;
+- :mod:`repro.cluster.rollup` — steady-state throughput, fill/drain
+  latency, per-stage utilization and link occupancy as byte-stable JSON;
+- :mod:`repro.cluster.replica` — :class:`PipelinedReplica`, a
+  BatchCoster-compatible adapter so :mod:`repro.serve` can route batches
+  onto sharded deployments (1×big-chip vs N×small-chip under one SLO
+  workload).
+
+See ``docs/sharding.md`` for the cost model and a CLI walkthrough.
+"""
+
+from repro.cluster.dataparallel import (
+    ChipShard,
+    DataParallelPlan,
+    plan_data_parallel,
+    shard_sizes,
+)
+from repro.cluster.link import LinkSpec, activation_bytes
+from repro.cluster.pipeline import (
+    PARTITION_STRATEGIES,
+    PipelinePlan,
+    StagePlan,
+    partition_dp,
+    partition_even,
+    plan_pipeline,
+)
+from repro.cluster.replica import (
+    SHARD_STRATEGIES,
+    PipelinedReplica,
+    compare_deployments,
+)
+from repro.cluster.rollup import (
+    rollup,
+    rollup_data_parallel,
+    rollup_pipeline,
+    to_json,
+)
+
+__all__ = [
+    "ChipShard",
+    "DataParallelPlan",
+    "LinkSpec",
+    "PARTITION_STRATEGIES",
+    "PipelinePlan",
+    "PipelinedReplica",
+    "SHARD_STRATEGIES",
+    "StagePlan",
+    "activation_bytes",
+    "compare_deployments",
+    "partition_dp",
+    "partition_even",
+    "plan_data_parallel",
+    "plan_pipeline",
+    "rollup",
+    "rollup_data_parallel",
+    "rollup_pipeline",
+    "shard_sizes",
+    "to_json",
+]

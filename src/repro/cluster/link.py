@@ -1,0 +1,81 @@
+"""Inter-chip link model: bandwidth plus a fixed per-transfer hop latency.
+
+A sharded deployment moves activations between accelerator instances —
+stage-to-stage handoffs in a layer pipeline, scatter/gather in batch-level
+data parallelism.  The cost model is deliberately first-order, matching the
+rest of the repository: a transfer of ``n`` bytes over a link of bandwidth
+``B`` GB/s and hop latency ``L`` costs ``L + n / B`` seconds, and a
+zero-byte transfer costs nothing (no message, no hop).
+
+``bandwidth_gbs`` may be ``math.inf`` — the "free interconnect" limit the
+scaling tests use to show N-way data parallelism approaching an N× speedup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.nn.layers import TensorShape
+
+__all__ = ["LinkSpec", "activation_bytes"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An inter-chip link: sustained bandwidth + fixed per-transfer latency.
+
+    Attributes
+    ----------
+    bandwidth_gbs:
+        Sustained payload bandwidth in GB/s (1 GB = 1e9 bytes).  ``math.inf``
+        models an ideal interconnect.  Defaults to a PCIe-gen4-x16-class
+        25 GB/s.
+    latency_s:
+        Fixed per-transfer hop latency in seconds (serialization setup,
+        protocol overhead), charged once per transfer regardless of size.
+    """
+
+    bandwidth_gbs: float = 25.0
+    latency_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not self.bandwidth_gbs > 0:
+            raise ConfigError(
+                f"link bandwidth must be positive, got {self.bandwidth_gbs!r}"
+            )
+        if self.latency_s < 0:
+            raise ConfigError(
+                f"link latency must be >= 0, got {self.latency_s!r}"
+            )
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Seconds to move ``n_bytes`` across the link (0 bytes -> 0 s)."""
+        if n_bytes < 0:
+            raise ConfigError(f"transfer size must be >= 0, got {n_bytes!r}")
+        if n_bytes == 0:
+            return 0.0
+        if math.isinf(self.bandwidth_gbs):
+            return self.latency_s
+        return self.latency_s + n_bytes / self.bytes_per_second
+
+    def describe(self) -> str:
+        bw = "inf" if math.isinf(self.bandwidth_gbs) else f"{self.bandwidth_gbs:g}"
+        return f"link({bw} GB/s, {self.latency_s * 1e6:g} us)"
+
+
+def activation_bytes(shape: TensorShape, word_bytes: int) -> int:
+    """Bytes of one activation tensor at the datapath word width.
+
+    The layout (inter vs intra order) decides the *order* words cross the
+    link in, not how many there are, so handoff cost depends only on the
+    element count.
+    """
+    if word_bytes <= 0:
+        raise ConfigError(f"word_bytes must be positive, got {word_bytes!r}")
+    return shape.elements * word_bytes

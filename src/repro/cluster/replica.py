@@ -1,0 +1,178 @@
+"""Serving adapter: route batches onto a sharded deployment.
+
+:class:`PipelinedReplica` presents an N-chip sharded deployment behind the
+same coster interface :class:`~repro.serve.batcher.BatchCoster` gives a
+single chip — ``batch_seconds(network, B)`` — so it plugs straight into
+:class:`~repro.serve.engine.ServingEngine` via its ``coster`` argument.
+The serving event loop then schedules work onto "replicas" that are in
+fact whole clusters, which makes 1×big-chip vs N×small-chip comparisons a
+one-line change (:func:`compare_deployments`).
+
+Latency semantics per strategy:
+
+* ``pipeline`` — a dispatched batch streams image-by-image through the
+  stage pipeline: ``fill + (B - 1) * bottleneck``.  The partition is
+  batch-independent, planned once per network.
+* ``data-parallel`` — the batch is sharded across the replicas:
+  ``scatter + max shard compute + gather``, planned per (network, B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.arch.config import AcceleratorConfig
+from repro.cluster.dataparallel import DataParallelPlan, plan_data_parallel
+from repro.cluster.link import LinkSpec
+from repro.cluster.pipeline import PipelinePlan, plan_pipeline
+from repro.errors import ConfigError
+from repro.nn.network import Network
+
+__all__ = ["PipelinedReplica", "SHARD_STRATEGIES", "compare_deployments"]
+
+SHARD_STRATEGIES = ("pipeline", "data-parallel")
+
+
+class PipelinedReplica:
+    """BatchCoster-compatible latency model of one sharded deployment."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        n_chips: int,
+        link: LinkSpec = LinkSpec(),
+        strategy: str = "pipeline",
+        partition: str = "dp",
+        policy: str = "adaptive-2",
+        include_non_conv: bool = True,
+    ) -> None:
+        if strategy not in SHARD_STRATEGIES:
+            raise ConfigError(
+                f"unknown sharding strategy {strategy!r}; "
+                f"choose from {SHARD_STRATEGIES}"
+            )
+        if isinstance(n_chips, bool) or not isinstance(n_chips, int):
+            raise ConfigError(
+                f"chip count must be an int, got {n_chips!r} "
+                f"({type(n_chips).__name__})"
+            )
+        if n_chips <= 0:
+            raise ConfigError(f"chip count must be positive, got {n_chips!r}")
+        self.config = config
+        self.n_chips = n_chips
+        self.link = link
+        self.strategy = strategy
+        self.partition = partition
+        self.policy = policy
+        self.include_non_conv = include_non_conv
+        self._networks: Dict[str, Network] = {}
+        self._pipelines: Dict[str, PipelinePlan] = {}
+        self._dp_plans: Dict[Tuple[str, int], DataParallelPlan] = {}
+
+    def _network(self, name: str) -> Network:
+        net = self._networks.get(name)
+        if net is None:
+            from repro.nn.zoo import build
+
+            net = self._networks[name] = build(name)
+        return net
+
+    def pipeline_plan(self, network: str) -> PipelinePlan:
+        """The (memoized) stage partition for ``network``."""
+        plan = self._pipelines.get(network)
+        if plan is None:
+            plan = self._pipelines[network] = plan_pipeline(
+                self._network(network),
+                self.config,
+                self.n_chips,
+                link=self.link,
+                policy=self.policy,
+                strategy=self.partition,
+                include_non_conv=self.include_non_conv,
+            )
+        return plan
+
+    def data_parallel_plan(self, network: str, batch_size: int) -> DataParallelPlan:
+        """The (memoized) shard plan for ``(network, batch_size)``."""
+        key = (network, batch_size)
+        plan = self._dp_plans.get(key)
+        if plan is None:
+            plan = self._dp_plans[key] = plan_data_parallel(
+                self._network(network),
+                self.config,
+                self.n_chips,
+                link=self.link,
+                batch_size=batch_size,
+                policy=self.policy,
+                include_non_conv=self.include_non_conv,
+            )
+        return plan
+
+    # -- the BatchCoster interface ----------------------------------------
+
+    def batch_seconds(self, network: str, batch_size: int) -> float:
+        """Wall-clock one batch occupies the whole sharded deployment."""
+        if self.strategy == "pipeline":
+            return self.pipeline_plan(network).batch_seconds(batch_size)
+        return self.data_parallel_plan(network, batch_size).step_s
+
+    def image_seconds(self, network: str, batch_size: int) -> float:
+        """Per-image service time at a given batch size."""
+        return self.batch_seconds(network, batch_size) / batch_size
+
+    def capacity_rps(self, network: str, batch_size: int) -> float:
+        """Sustainable deployment throughput at a fixed batch size."""
+        return 1.0 / self.image_seconds(network, batch_size)
+
+    def describe(self) -> str:
+        return (
+            f"{self.strategy} x{self.n_chips} {self.config.name} "
+            f"[{self.link.describe()}]"
+        )
+
+
+def compare_deployments(
+    big_config: AcceleratorConfig,
+    small_config: AcceleratorConfig,
+    n_chips: int,
+    requests,
+    duration_s: float,
+    link: LinkSpec = LinkSpec(),
+    strategy: str = "pipeline",
+    batch_policy=None,
+    queue_policy=None,
+    policy: str = "adaptive-2",
+) -> Dict[str, Dict[str, object]]:
+    """Serve one workload on 1×big-chip and on N×small-chip, same knobs.
+
+    Returns ``{"big": summary, "sharded": summary}`` — the two
+    :class:`~repro.serve.engine.ServingEngine` summaries under identical
+    requests, batching and queueing, differing only in the accelerator
+    behind the coster.
+    """
+    from repro.serve.batcher import BatchCoster, BatchPolicy
+    from repro.serve.engine import ServingEngine
+    from repro.serve.queue import QueuePolicy
+
+    batch_policy = batch_policy or BatchPolicy()
+    queue_policy = queue_policy or QueuePolicy()
+    requests = list(requests)
+    big = ServingEngine(
+        big_config,
+        batch_policy=batch_policy,
+        queue_policy=queue_policy,
+        coster=BatchCoster(big_config, policy=policy),
+    ).run(requests, duration_s, extra_meta={"deployment": "1x big chip"})
+    sharded = ServingEngine(
+        small_config,
+        batch_policy=batch_policy,
+        queue_policy=queue_policy,
+        coster=PipelinedReplica(
+            small_config, n_chips, link=link, strategy=strategy, policy=policy
+        ),
+    ).run(
+        requests,
+        duration_s,
+        extra_meta={"deployment": f"{n_chips}x small chip ({strategy})"},
+    )
+    return {"big": big.summary, "sharded": sharded.summary}

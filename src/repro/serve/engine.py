@@ -58,12 +58,19 @@ class _Router:
             raise ConfigError(
                 f"unknown routing {kind!r}; choose from {ROUTING_KINDS}"
             )
-        self.replicas = replicas
+        # normalize to rid order so routing never depends on how the
+        # caller happened to build the list
+        self.replicas = sorted(replicas, key=lambda r: r.rid)
         self.kind = kind
         self._next = 0
 
     def peek(self) -> ReplicaState:
-        """The replica the next dispatch would use (no state change)."""
+        """The replica the next dispatch would use (no state change).
+
+        Least-loaded ties (equal ``free_at``) always resolve to the lowest
+        replica index — two equally-loaded replicas must route the same
+        way on every run.
+        """
         if self.kind == "round-robin":
             return self.replicas[self._next]
         return min(self.replicas, key=lambda r: (r.free_at, r.rid))

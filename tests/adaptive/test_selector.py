@@ -78,6 +78,88 @@ class TestBenchmarkSelections:
         assert all(s == "inter-improved" for s in choices[1:])
 
 
+class TestAlgorithm2EdgeCases:
+    """Boundary geometries of the three-way rule, with stable reasons."""
+
+    def test_1x1_conv_must_not_take_intra_branch(self, cfg16):
+        """k == s == 1: the 'k != 1' guard routes 1x1 away from intra even
+        though k == s holds — a 1x1 window has no in-map reuse to exploit."""
+        for din in (3, 8, 16, 64):
+            ctx = make_ctx(in_maps=din, out_maps=32, kernel=1, stride=1, hw=14)
+            choice = select_scheme(ctx, cfg16)
+            assert choice.scheme != "intra", f"Din={din}"
+            # s < k is false for k == s == 1, so the partition branch is
+            # unreachable too: every 1x1 falls through to inter-kernel
+            assert choice.scheme == "inter-improved"
+
+    def test_1x1_reason_string_is_stable(self, cfg16):
+        ctx = make_ctx(in_maps=64, out_maps=64, kernel=1, stride=1, hw=14)
+        assert select_scheme(ctx, cfg16).reason == (
+            "Din = 64 >= Tin = 16 (or 1x1 kernel): "
+            "depth parallelism saturates the array"
+        )
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_k_equals_s_above_one_takes_intra(self, cfg16, k):
+        """Non-overlapping windows (k == s > 1) always slide, regardless of
+        depth, and the reason names the geometry."""
+        for din in (3, 64):
+            ctx = make_ctx(in_maps=din, out_maps=32, kernel=k, stride=k, hw=4 * k)
+            choice = select_scheme(ctx, cfg16)
+            assert choice.scheme == "intra"
+            assert choice.reason == (
+                f"k == s == {k}: sliding window aligns perfectly"
+            )
+
+    def test_zoo_1x1_layers_all_avoid_intra(self, all_networks, cfg16):
+        """Every 1x1 conv in the zoo (NiN mlpconv, GoogLeNet reductions)
+        goes to inter-kernel; none slips into the k == s intra branch."""
+        seen_1x1 = 0
+        for net in all_networks:
+            for ctx in net.conv_contexts():
+                if ctx.layer.kernel == 1 and ctx.layer.stride == 1:
+                    seen_1x1 += 1
+                    choice = select_scheme(ctx, cfg16)
+                    assert choice.scheme == "inter-improved", (net.name, ctx.name)
+                    assert "1x1 kernel" in choice.reason
+        assert seen_1x1 > 0, "zoo unexpectedly lost its 1x1 layers"
+
+    def test_zoo_k_equals_s_layers_all_take_intra(self, all_networks, cfg16):
+        """Any zoo conv with non-overlapping windows (k == s > 1) must pick
+        intra with the canonical reason; the scan also pins down how the
+        rule partitions the zoo today."""
+        for net in all_networks:
+            for ctx in net.conv_contexts():
+                k, s = ctx.layer.kernel, ctx.layer.stride
+                if k == s and k > 1:
+                    choice = select_scheme(ctx, cfg16)
+                    assert choice.scheme == "intra", (net.name, ctx.name)
+                    assert choice.reason == (
+                        f"k == s == {k}: sliding window aligns perfectly"
+                    )
+
+    def test_reason_templates_cover_all_three_branches(self, cfg16):
+        """The selector's reasons are consumed by `repro select --json`;
+        pin the exact templates so downstream parsing stays stable."""
+        intra = select_scheme(
+            make_ctx(in_maps=8, out_maps=8, kernel=2, stride=2, hw=8), cfg16
+        )
+        partition = select_scheme(
+            make_ctx(in_maps=3, out_maps=8, kernel=5, stride=1, hw=16), cfg16
+        )
+        inter = select_scheme(
+            make_ctx(in_maps=32, out_maps=8, kernel=3, stride=1, hw=16), cfg16
+        )
+        assert intra.reason == "k == s == 2: sliding window aligns perfectly"
+        assert partition.reason == (
+            "Din = 3 < Tin = 16: inter-kernel would idle 13/16 of the array"
+        )
+        assert inter.reason == (
+            "Din = 32 >= Tin = 16 (or 1x1 kernel): "
+            "depth parallelism saturates the array"
+        )
+
+
 class TestLayoutDecision:
     def test_inter_schemes_want_inter_order(self):
         assert layout_for_scheme("inter") is Layout.INTER

@@ -84,6 +84,29 @@ class TestValidation:
         with pytest.raises(ConfigError):
             AcceleratorConfig(**kwargs)
 
+    @pytest.mark.parametrize(
+        "kwargs, fragment",
+        [
+            (dict(tin=0), "tin must be positive, got 0"),
+            (dict(tin=-4), "tin must be positive, got -4"),
+            (dict(tout=-1), "tout must be positive, got -1"),
+            (dict(frequency_hz=0), "frequency_hz must be positive, got 0"),
+            (
+                dict(frequency_hz=-1e9),
+                "frequency_hz must be positive, got -1000000000.0",
+            ),
+            (
+                dict(weight_buffer_bytes=-2),
+                "weight_buffer_bytes must be positive, got -2",
+            ),
+        ],
+    )
+    def test_message_names_the_bad_value(self, kwargs, fragment):
+        """A rejected knob must say which knob and which value."""
+        with pytest.raises(ConfigError) as excinfo:
+            AcceleratorConfig(**kwargs)
+        assert fragment in str(excinfo.value)
+
 
 class TestSerialization:
     def test_roundtrip(self):
@@ -98,6 +121,26 @@ class TestSerialization:
     def test_unknown_key_rejected(self):
         with pytest.raises(ConfigError):
             AcceleratorConfig.from_dict({"tin": 16, "cache_kb": 64})
+
+    def test_unknown_key_named_in_error(self):
+        """A typoed knob must be called out, never silently defaulted."""
+        with pytest.raises(ConfigError, match="'cache_kb'"):
+            AcceleratorConfig.from_dict({"tin": 16, "cache_kb": 64})
+
+    def test_multiple_unknown_keys_all_named(self):
+        with pytest.raises(ConfigError) as excinfo:
+            AcceleratorConfig.from_dict({"bogus": 1, "also_bogus": 2})
+        message = str(excinfo.value)
+        assert "'also_bogus'" in message and "'bogus'" in message
+        assert "valid keys" in message
+
+    def test_from_dict_bad_value_names_it(self):
+        with pytest.raises(ConfigError, match="tin must be positive, got -8"):
+            AcceleratorConfig.from_dict({"tin": -8})
+        with pytest.raises(
+            ConfigError, match="frequency_hz must be positive, got 0"
+        ):
+            AcceleratorConfig.from_dict({"frequency_hz": 0})
 
     def test_partial_dict_uses_defaults(self):
         cfg = AcceleratorConfig.from_dict({"tin": 8, "tout": 8})

@@ -1,0 +1,66 @@
+"""`python -m repro shard` CLI tests."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestShardCommand:
+    def test_pipeline_default(self, capsys):
+        assert main(["shard", "alexnet", "--chips", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline (dp balancer)" in out
+        assert "bottleneck" in out
+        assert "even-split baseline" in out
+        assert "conv1" in out
+
+    def test_even_partition_skips_baseline_line(self, capsys):
+        assert main(["shard", "alexnet", "--chips", "2", "--partition", "even"]) == 0
+        out = capsys.readouterr().out
+        assert "even-split baseline" not in out
+
+    def test_data_parallel(self, capsys):
+        assert main(
+            ["shard", "alexnet", "--chips", "2", "--strategy", "data-parallel",
+             "--batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "scatter" in out
+
+    def test_json_to_stdout_is_machine_readable(self, capsys):
+        assert main(["shard", "alexnet", "--chips", "2", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "pipeline"
+        assert payload["chips"] == 2
+        assert payload["network"] == "alexnet"
+
+    def test_json_to_file(self, capsys, tmp_path):
+        target = tmp_path / "shard.json"
+        assert main(
+            ["shard", "vgg", "--chips", "2", "--strategy", "data-parallel",
+             "--json", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["kind"] == "data-parallel"
+        assert payload["network"] == "vgg"
+
+    def test_link_flags_flow_through(self, capsys):
+        assert main(
+            ["shard", "alexnet", "--chips", "2", "--link-gbs", "50",
+             "--link-latency-us", "2", "--json", "-"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["link"] == {"bandwidth_gbs": 50.0, "latency_us": 2.0}
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["shard", "resnet"])
+
+    def test_bad_chip_count_reports_config_error(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["shard", "alexnet", "--chips", "0"])

@@ -1,0 +1,113 @@
+"""Batch-sharded data parallelism tests, including the acceptance
+criterion: N-way throughput approaches N× single-chip as the link
+bandwidth goes to infinity."""
+
+import math
+
+import pytest
+
+from repro.adaptive.batch import plan_batch
+from repro.cluster.dataparallel import plan_data_parallel, shard_sizes
+from repro.cluster.link import LinkSpec
+from repro.errors import ConfigError
+
+FREE = LinkSpec(bandwidth_gbs=math.inf, latency_s=0.0)
+
+
+class TestShardSizes:
+    def test_even_division(self):
+        assert shard_sizes(8, 4) == (2, 2, 2, 2)
+
+    def test_remainder_goes_to_first_chips(self):
+        assert shard_sizes(10, 4) == (3, 3, 2, 2)
+
+    def test_fewer_images_than_chips_leaves_idle_chips(self):
+        assert shard_sizes(2, 4) == (1, 1, 0, 0)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.0])
+    def test_rejects_bad_batch(self, bad):
+        with pytest.raises(ConfigError):
+            shard_sizes(bad, 2)
+
+    @pytest.mark.parametrize("bad", [0, -3, False, 1.5])
+    def test_rejects_bad_chips(self, bad):
+        with pytest.raises(ConfigError):
+            shard_sizes(4, bad)
+
+
+class TestPlan:
+    def test_defaults_to_one_image_per_chip(self, alexnet, cfg16):
+        plan = plan_data_parallel(alexnet, cfg16, 4)
+        assert plan.batch_size == 4
+        assert [s.batch for s in plan.shards] == [1, 1, 1, 1]
+
+    def test_step_decomposes(self, alexnet, cfg16):
+        plan = plan_data_parallel(alexnet, cfg16, 2, batch_size=4)
+        assert plan.step_s == pytest.approx(
+            plan.scatter_s + plan.compute_s + plan.gather_s
+        )
+        assert plan.compute_s == max(s.compute_s for s in plan.shards)
+        assert plan.throughput_ips == pytest.approx(4 / plan.step_s)
+
+    def test_idle_chip_costs_nothing(self, alexnet, cfg16):
+        plan = plan_data_parallel(alexnet, cfg16, 4, batch_size=2)
+        assert plan.shards[2].compute_s == 0.0
+        assert plan.shards[2].scatter_bytes == 0
+        assert plan.utilization(2) == 0.0
+
+    def test_scatter_counts_input_gather_counts_output(self, alexnet, cfg16):
+        plan = plan_data_parallel(alexnet, cfg16, 2, batch_size=2)
+        in_bytes = alexnet.input_shape.elements * cfg16.word_bytes
+        assert plan.shards[0].scatter_bytes == in_bytes
+        # AlexNet ends in fc8: 1000 words
+        assert plan.shards[0].gather_bytes == 1000 * cfg16.word_bytes
+
+    def test_straggler_bound_by_uneven_shards(self, alexnet, cfg16):
+        plan = plan_data_parallel(alexnet, cfg16, 2, batch_size=3, link=FREE)
+        # chip 0 runs 2 images, chip 1 runs 1: the step waits for chip 0
+        assert plan.shards[0].batch == 2
+        assert plan.compute_s == plan.shards[0].compute_s
+        assert plan.compute_s > plan.shards[1].compute_s
+
+    def test_batch_seconds_guards_mismatch(self, alexnet, cfg16):
+        plan = plan_data_parallel(alexnet, cfg16, 2, batch_size=4)
+        assert plan.batch_seconds() == plan.step_s
+        assert plan.batch_seconds(4) == plan.step_s
+        with pytest.raises(ConfigError, match="re-plan"):
+            plan.batch_seconds(8)
+
+
+class TestScalingAcceptance:
+    @pytest.mark.parametrize("n_chips", [2, 4])
+    def test_free_link_reaches_n_times_single_chip(self, alexnet, cfg16, n_chips):
+        """bandwidth -> inf, latency -> 0: exactly N x one chip at the
+        same shard size (the acceptance criterion's limit)."""
+        per_chip = 2
+        plan = plan_data_parallel(
+            alexnet, cfg16, n_chips, link=FREE, batch_size=n_chips * per_chip
+        )
+        single = plan_batch(alexnet, cfg16, "adaptive-2", batch_size=per_chip)
+        single_ips = per_chip / cfg16.cycles_to_seconds(single.total_cycles)
+        assert plan.throughput_ips == pytest.approx(n_chips * single_ips)
+
+    def test_throughput_monotone_in_bandwidth(self, alexnet, cfg16):
+        """Raising the bandwidth walks the throughput up toward the free-
+        link limit; the limit itself is never exceeded."""
+        n, batch = 4, 8
+        tputs = [
+            plan_data_parallel(
+                alexnet, cfg16, n, link=LinkSpec(gbs, 1e-6), batch_size=batch
+            ).throughput_ips
+            for gbs in (1.0, 10.0, 100.0, 1000.0)
+        ]
+        assert tputs == sorted(tputs)
+        free = plan_data_parallel(
+            alexnet, cfg16, n, link=FREE, batch_size=batch
+        ).throughput_ips
+        assert tputs[-1] <= free
+        assert tputs[-1] == pytest.approx(free, rel=1e-2)
+
+    def test_efficiency_at_most_one_with_real_link(self, vgg, cfg16):
+        plan = plan_data_parallel(vgg, cfg16, 4, batch_size=8)
+        assert 0.0 < plan.efficiency <= 1.0 + 1e-9
+        assert plan.speedup <= plan.n_chips + 1e-9

@@ -1,0 +1,197 @@
+"""Layer-pipeline partitioning tests, including the acceptance criteria:
+
+* the DP balancer's bottleneck (compute + link) is never worse than the
+  even split, for every zoo network and N in {2, 4};
+* equal-work partitions are bit-deterministic across runs.
+"""
+
+import math
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.cluster.link import LinkSpec
+from repro.cluster.pipeline import (
+    partition_dp,
+    partition_even,
+    plan_pipeline,
+)
+from repro.errors import ConfigError
+
+
+class TestPartitionEven:
+    def test_boundaries_split_by_count(self):
+        assert partition_even(8, 4) == [2, 4, 6]
+        assert partition_even(5, 2) == [2]
+
+    def test_every_stage_nonempty(self):
+        for n_layers in range(1, 20):
+            for n_chips in range(1, n_layers + 1):
+                edges = [0] + partition_even(n_layers, n_chips) + [n_layers]
+                assert all(b > a for a, b in zip(edges, edges[1:]))
+
+
+class TestPartitionDP:
+    def test_balances_unequal_work(self):
+        # layer costs 9, 1, 1, 1: even split [9+1 | 1+1] has bottleneck 10;
+        # optimal [9 | 1+1+1] has bottleneck 9
+        compute = [9.0, 1.0, 1.0, 1.0]
+        send = [0.0] * 5
+        assert partition_dp(compute, send, 2) == [1]
+
+    def test_accounts_for_link_cost(self):
+        # splitting after layer 0 ships a huge tensor; after layer 1 a tiny
+        # one — the DP must prefer the cheap cut even though compute is
+        # slightly less balanced
+        compute = [5.0, 1.0, 5.0]
+        send = [0.0, 100.0, 0.5, 0.0]
+        assert partition_dp(compute, send, 2) == [2]
+
+    def test_single_stage_is_whole_network(self):
+        assert partition_dp([1.0, 2.0], [0.0, 0.0, 0.0], 1) == []
+
+    def test_ties_resolve_deterministically(self):
+        # uniform work: several partitions share the optimal bottleneck;
+        # repeated runs must return the identical boundary list
+        compute = [1.0] * 8
+        send = [0.0] * 9
+        first = partition_dp(compute, send, 4)
+        for _ in range(5):
+            assert partition_dp(compute, send, 4) == first
+
+    def test_never_worse_than_even(self):
+        compute = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        send = [0.0] + [0.25] * 7 + [0.0]
+
+        def bottleneck(edges):
+            stages = []
+            for a, b in zip(edges, edges[1:]):
+                cost = sum(compute[a:b])
+                if b != len(compute):
+                    cost += send[b]
+                stages.append(cost)
+            return max(stages)
+
+        for n in (2, 3, 4):
+            dp = [0] + partition_dp(compute, send, n) + [len(compute)]
+            even = [0] + partition_even(len(compute), n) + [len(compute)]
+            assert bottleneck(dp) <= bottleneck(even)
+
+
+class TestPlanPipelineValidation:
+    def test_rejects_zero_and_bool_chips(self, alexnet, cfg16):
+        with pytest.raises(ConfigError, match="positive"):
+            plan_pipeline(alexnet, cfg16, 0)
+        with pytest.raises(ConfigError, match="int"):
+            plan_pipeline(alexnet, cfg16, True)
+
+    def test_rejects_more_chips_than_layers(self, alexnet, cfg16):
+        with pytest.raises(ConfigError, match="each stage needs"):
+            plan_pipeline(alexnet, cfg16, 10**6)
+
+    def test_rejects_unknown_strategy(self, alexnet, cfg16):
+        with pytest.raises(ConfigError, match="strategy"):
+            plan_pipeline(alexnet, cfg16, 2, strategy="magic")
+
+
+class TestPlanPipeline:
+    def test_stages_cover_all_layers_in_order(self, alexnet, cfg16):
+        plan = plan_pipeline(alexnet, cfg16, 3)
+        names = [n for s in plan.stages for n in s.layer_names]
+        assert names[0] == "conv1"
+        assert len(names) == len(set(names))
+        edges = [s.start for s in plan.stages] + [plan.stages[-1].stop]
+        assert edges[0] == 0 and all(b > a for a, b in zip(edges, edges[1:]))
+
+    def test_last_stage_sends_nothing(self, alexnet, cfg16):
+        plan = plan_pipeline(alexnet, cfg16, 4)
+        assert plan.stages[-1].send_bytes == 0
+        assert plan.stages[-1].send_s == 0.0
+
+    def test_single_chip_matches_whole_network_latency(self, alexnet, cfg16):
+        from repro.adaptive.planner import plan_network
+
+        plan = plan_pipeline(alexnet, cfg16, 1)
+        run = plan_network(alexnet, cfg16, "adaptive-2", include_non_conv=True)
+        assert plan.bottleneck_s == pytest.approx(
+            cfg16.cycles_to_seconds(run.total_cycles)
+        )
+        assert plan.fill_latency_s == plan.bottleneck_s
+        assert plan.drain_latency_s == 0.0
+
+    def test_bottleneck_is_max_stage(self, vgg, cfg16):
+        plan = plan_pipeline(vgg, cfg16, 4)
+        assert plan.bottleneck_s == max(s.stage_s for s in plan.stages)
+        assert plan.throughput_ips == pytest.approx(1.0 / plan.bottleneck_s)
+        assert plan.fill_latency_s == pytest.approx(
+            sum(s.stage_s for s in plan.stages)
+        )
+
+    def test_utilization_peaks_at_bottleneck_stage(self, alexnet, cfg16):
+        plan = plan_pipeline(alexnet, cfg16, 4)
+        utils = [plan.utilization(c) for c in range(plan.n_chips)]
+        assert max(utils) == pytest.approx(1.0)
+        assert all(0.0 < u <= 1.0 + 1e-12 for u in utils)
+
+    def test_batch_seconds_streams_through(self, alexnet, cfg16):
+        plan = plan_pipeline(alexnet, cfg16, 2)
+        assert plan.batch_seconds(1) == pytest.approx(plan.fill_latency_s)
+        assert plan.batch_seconds(5) == pytest.approx(
+            plan.fill_latency_s + 4 * plan.bottleneck_s
+        )
+        with pytest.raises(ConfigError):
+            plan.batch_seconds(0)
+
+    def test_slower_link_never_speeds_the_pipe(self, alexnet, cfg16):
+        fast = plan_pipeline(alexnet, cfg16, 4, link=LinkSpec(100.0, 1e-7))
+        slow = plan_pipeline(alexnet, cfg16, 4, link=LinkSpec(0.1, 1e-4))
+        assert slow.bottleneck_s >= fast.bottleneck_s
+
+    def test_conv_only_mode_works(self, alexnet, cfg16):
+        plan = plan_pipeline(alexnet, cfg16, 2, include_non_conv=False)
+        assert [n for s in plan.stages for n in s.layer_names] == [
+            "conv1", "conv2", "conv3", "conv4", "conv5",
+        ]
+        # boundary traffic resolves through the skipped pool/relu layers
+        assert plan.stages[0].send_bytes > 0
+
+
+class TestAcceptanceCriteria:
+    @pytest.mark.parametrize("n_chips", [2, 4])
+    def test_dp_never_worse_than_even_across_zoo(self, all_networks, cfg16, n_chips):
+        """The headline guarantee, for every zoo network and N in {2, 4}."""
+        for net in all_networks:
+            dp = plan_pipeline(net, cfg16, n_chips, strategy="dp")
+            even = plan_pipeline(net, cfg16, n_chips, strategy="even")
+            assert dp.bottleneck_s <= even.bottleneck_s, net.name
+
+    @pytest.mark.parametrize("strategy", ["dp", "even"])
+    def test_partitions_bit_deterministic_across_runs(self, alexnet, strategy):
+        plans = [
+            plan_pipeline(alexnet, CONFIG_16_16, 4, strategy=strategy)
+            for _ in range(3)
+        ]
+        reference = plans[0]
+        for plan in plans[1:]:
+            assert plan.stages == reference.stages  # exact, field-by-field
+            assert plan.bottleneck_s == reference.bottleneck_s  # bitwise
+
+    def test_equal_work_partition_deterministic(self, cfg16):
+        """Uniform synthetic network: every split ties; result must not drift."""
+        from repro.nn.zoo import sequential_cnn
+
+        net = sequential_cnn(
+            "uniform", (16, 32, 32), " ".join(["C16k3s1p1"] * 6)
+        )
+        boundaries = [
+            tuple(s.start for s in plan_pipeline(net, cfg16, 3).stages)
+            for _ in range(3)
+        ]
+        assert len(set(boundaries)) == 1
+
+    def test_googlenet_dag_cut_includes_concat_fanin(self, googlenet, cfg16):
+        """Branchy cuts must count every tensor crossing, deterministically."""
+        a = plan_pipeline(googlenet, cfg16, 4)
+        b = plan_pipeline(googlenet, cfg16, 4)
+        assert a.stages == b.stages
+        assert all(s.send_bytes > 0 for s in a.stages[:-1])

@@ -150,6 +150,50 @@ class TestReplicasAndRouting:
             <= rr.summary["latency_ms"]["mean"] * 1.001
         )
 
+    def test_least_loaded_tie_breaks_by_replica_index(self):
+        """Two equally-loaded replicas must always resolve the same way."""
+        from repro.serve.engine import ReplicaState, _Router
+
+        idle = [ReplicaState(0), ReplicaState(1)]
+        router = _Router(idle, "least-loaded")
+        assert router.peek().rid == 0
+        # equal *nonzero* load ties the same way
+        for r in idle:
+            r.free_at = 2.5
+        assert router.peek().rid == 0
+        # ... and the tie-break must not depend on list construction order
+        assert _Router([ReplicaState(1), ReplicaState(0)], "least-loaded").peek().rid == 0
+        assert (
+            _Router(
+                [ReplicaState(2), ReplicaState(0), ReplicaState(1)],
+                "least-loaded",
+            )
+            .peek()
+            .rid
+            == 0
+        )
+
+    def test_least_loaded_routing_is_reproducible(self):
+        """Regression: repeated least-loaded runs place every batch on the
+        same replica, even when several replicas free up simultaneously."""
+        reqs = poisson_arrivals(120, 2, ALEX, seed=9)
+
+        def placements():
+            report = engine(
+                batch_policy=BatchPolicy(max_batch=4, max_wait_ms=5),
+                replicas=2,
+                routing="least-loaded",
+            ).run(list(reqs), 2)
+            return [
+                (r.rid, r.replica)
+                for r in sorted(report.metrics.completed, key=lambda r: r.rid)
+            ]
+
+        first = placements()
+        assert first == placements()
+        # the very first batch lands on replica 0 (both idle -> lowest rid)
+        assert first[0][1] == 0
+
     def test_replica_bookkeeping(self):
         reqs = poisson_arrivals(80, 3, ALEX, seed=8)
         report = engine(replicas=2, routing="least-loaded").run(reqs, 3)
