@@ -1,0 +1,151 @@
+"""Resilience benchmark: chaos scenarios, availability and recovery.
+
+Runs every named chaos scenario (:mod:`repro.resilience.scenarios`) at a
+fixed seed and reduces each to its headline resilience numbers:
+availability, goodput under fault relative to healthy, p95/p99 latency
+ratios, MTTR, and the retry/failure accounting.
+
+Writes ``BENCH_resilience.json``.  The headline asserts the structural
+claims and the script exits nonzero if any fails:
+
+1. **zero silent drops** — every offered request terminates as completed,
+   shed, or failed-with-reason, in every scenario;
+2. **single-crash recovery** — under a single replica fail-stop at steady
+   state, windowed goodput recovers to at least the survivor fraction
+   ``(N-1)/N`` of healthy goodput, within a measured (finite) MTTR;
+3. **determinism** — running the single-crash scenario twice produces
+   byte-identical rollup JSON.
+
+All numbers are modelled accelerator time: reruns are byte-deterministic.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py [--smoke] [--output BENCH_resilience.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from repro.arch.config import CONFIG_16_16
+from repro.resilience import (
+    SCENARIO_NAMES,
+    build_scenario,
+    rollup_to_json,
+    run_scenario,
+)
+
+SEED = 1
+SMOKE_SCENARIOS = ("single-crash", "fail-slow", "pe-mask")
+
+
+def digest(rollup: dict) -> dict:
+    faulted = rollup["faulted"]
+    recovery = rollup["recovery"]
+    terminated = faulted["completed"] + faulted["shed"] + faulted["failed"]
+    return {
+        "scenario": rollup["scenario"]["name"],
+        "offered": faulted["offered"],
+        "completed": faulted["completed"],
+        "shed": faulted["shed"],
+        "failed": faulted["failed"],
+        "no_silent_drops": terminated == faulted["offered"],
+        "availability": rollup["availability"],
+        "goodput_under_fault_rps": rollup["goodput_under_fault"],
+        "goodput_ratio": rollup["goodput_ratio"],
+        "latency_ratio_p95": rollup["latency_ratio"]["p95"],
+        "latency_ratio_p99": rollup["latency_ratio"]["p99"],
+        "mttr_ms": recovery["mttr_ms"],
+        "recovered": recovery["recovered"],
+        "survivor_fraction": recovery["survivor_fraction"],
+        "retries": rollup["failover"]["retries"],
+        "hedges": rollup["failover"]["hedges"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_resilience.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="three-scenario subset (the CI smoke configuration)",
+    )
+    args = parser.parse_args(argv)
+
+    names = SMOKE_SCENARIOS if args.smoke else SCENARIO_NAMES
+    rollups = {name: run_scenario(build_scenario(name, seed=SEED)) for name in names}
+    rows = [digest(rollups[name]) for name in names]
+
+    crash = rollups["single-crash"]
+    crash_row = digest(crash)
+    goodput_floor = crash_row["survivor_fraction"]
+    recovers = (
+        crash_row["recovered"]
+        and crash_row["mttr_ms"] is not None
+        and crash_row["goodput_ratio"] >= goodput_floor
+    )
+    no_drops = all(r["no_silent_drops"] for r in rows)
+    deterministic = rollup_to_json(crash) == rollup_to_json(
+        run_scenario(build_scenario("single-crash", seed=SEED))
+    )
+
+    headline = {
+        "no_silent_drops_everywhere": no_drops,
+        "single_crash_recovers_to_survivor_fraction": recovers,
+        "single_crash_mttr_ms": crash_row["mttr_ms"],
+        "single_crash_availability": crash_row["availability"],
+        "byte_deterministic": deterministic,
+    }
+
+    payload = {
+        "benchmark": "resilience",
+        "generated_by": "benchmarks/bench_resilience.py",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "config": CONFIG_16_16.name,
+        "seed": SEED,
+        "smoke": args.smoke,
+        "scenarios": rows,
+        "headline": headline,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"{'scenario':<14s} {'avail':>7s} {'goodput':>8s} {'p95':>6s} "
+        f"{'p99':>6s} {'mttr ms':>8s} {'retries':>7s} {'failed':>6s}"
+    )
+    for r in rows:
+        mttr = f"{r['mttr_ms']:.0f}" if r["mttr_ms"] is not None else "-"
+        print(
+            f"{r['scenario']:<14s} {r['availability']:>7.4f} "
+            f"{r['goodput_ratio']:>8.3f} {r['latency_ratio_p95']:>6.2f} "
+            f"{r['latency_ratio_p99']:>6.2f} {mttr:>8s} "
+            f"{r['retries']:>7d} {r['failed']:>6d}"
+        )
+    ok = True
+    if not no_drops:
+        print("FAIL: a request was silently dropped", file=sys.stderr)
+        ok = False
+    if not recovers:
+        print(
+            "FAIL: single-crash goodput did not recover to the survivor "
+            "fraction of healthy within a finite MTTR",
+            file=sys.stderr,
+        )
+        ok = False
+    if not deterministic:
+        print("FAIL: single-crash rollup is not byte-deterministic", file=sys.stderr)
+        ok = False
+    print(f"written to {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,11 @@ serve [--mix alexnet:2,vgg:1] [--rate 100] [--duration 10] ...
 shard NETWORK [--chips 4] [--strategy pipeline|data-parallel] ...
     Partition a network across multiple accelerator chips with an
     inter-chip link model (see ``docs/sharding.md``).
+chaos [SCENARIO ...] [--seed 1] [--json PATH]
+    Run fault-injection scenarios — replica crashes, fail-slow windows,
+    link flaps, PE masks — against the serving tier and report
+    availability, goodput under fault, MTTR and latency ratios
+    (see ``docs/resilience.md``).
 networks
     List the benchmark networks and their Table 2 characteristics.
 
@@ -335,6 +340,99 @@ def cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.resilience import (
+        SCENARIO_NAMES,
+        build_scenario,
+        rollup_to_json,
+        run_scenario,
+    )
+
+    if args.list:
+        for name in SCENARIO_NAMES:
+            scenario = build_scenario(name, seed=args.seed)
+            print(f"{name:14s} {scenario.description}")
+        return 0
+    names = args.scenarios or list(SCENARIO_NAMES)
+    config = named_config(args.config)
+    rollups = {}
+    for name in names:
+        scenario = build_scenario(name, seed=args.seed)
+        rollups[name] = run_scenario(scenario, config)
+    payload = rollups[names[0]] if len(names) == 1 else {
+        "seed": args.seed,
+        "config": config.name,
+        "scenarios": rollups,
+    }
+    if args.json == "-":
+        print(rollup_to_json(payload), end="")
+        return 0
+    rows = []
+    for name in names:
+        r = rollups[name]
+        rec = r["recovery"]
+        mttr = f"{rec['mttr_ms']:.0f}" if rec["mttr_ms"] is not None else "-"
+        rows.append(
+            [
+                name,
+                f"{r['availability']:.4f}",
+                f"{r['goodput_ratio']:.3f}",
+                f"{r['latency_ratio']['p95']:.2f}x",
+                f"{r['latency_ratio']['p99']:.2f}x",
+                mttr,
+                str(r["failover"]["retries"]),
+                str(r["faulted"]["failed"]),
+            ]
+        )
+    print(f"chaos seed {args.seed} on {config.name}")
+    print()
+    print(
+        format_table(
+            [
+                "scenario",
+                "avail",
+                "goodput",
+                "p95",
+                "p99",
+                "mttr ms",
+                "retries",
+                "failed",
+            ],
+            rows,
+        )
+    )
+    for name in names:
+        degrade = rollups[name]["degrade"]
+        if degrade:
+            for network, d in sorted(degrade.items()):
+                flips = ", ".join(
+                    f"{f['layer']} {f['healthy']}->{f['degraded']}"
+                    for f in d["scheme_flips"]
+                ) or "none"
+                print(
+                    f"\n{name}: {network} degraded "
+                    f"{d['healthy_pe'][0]}x{d['healthy_pe'][1]} -> "
+                    f"{d['degraded_pe'][0]}x{d['degraded_pe'][1]}, "
+                    f"slowdown {d['slowdown']:.2f}x, flips: {flips}"
+                )
+        repair = rollups[name]["repair"]
+        if repair:
+            print(
+                f"\n{name}: lost chip(s) {repair['lost_chips']} of "
+                f"{repair['healthy_chips']}, rebalanced to "
+                f"{len(repair['surviving_chips'])} chips at "
+                f"{repair['throughput_ratio']:.1%} throughput, "
+                f"{len(repair['moved_layers'])} layers moved "
+                f"({repair['rebalance_ms']:.2f} ms of weight traffic)"
+            )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(rollup_to_json(payload))
+        print(f"\nchaos JSON written to {args.json}")
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.quantization import quantization_report, render_quantization
     from repro.analysis.reuse import render_reuse, reuse_table
@@ -597,6 +695,29 @@ def main(argv=None) -> int:
         help="write the rollup JSON here ('-' = stdout only)",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run fault-injection scenarios against the serving tier",
+        parents=[perf_opts],
+    )
+    p_chaos.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        help="named scenarios to run (default: all; see --list)",
+    )
+    p_chaos.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    p_chaos.add_argument("--seed", type=int, default=1, help="fault/workload RNG seed")
+    p_chaos.add_argument("--config", default="16-16")
+    p_chaos.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the rollup JSON here ('-' = stdout only)",
+    )
+
     p_sim = sub.add_parser(
         "simulate",
         help="compile, lint and machine-execute a network",
@@ -644,6 +765,7 @@ def main(argv=None) -> int:
         "networks": cmd_networks,
         "serve": cmd_serve,
         "shard": cmd_shard,
+        "chaos": cmd_chaos,
     }
 
     from repro.perf import schedule_cache, set_default_jobs

@@ -41,9 +41,15 @@ class LinkSpec:
     latency_s: float = 1e-6
 
     def __post_init__(self) -> None:
+        if math.isnan(self.bandwidth_gbs):
+            raise ConfigError("link bandwidth must not be NaN")
         if not self.bandwidth_gbs > 0:
             raise ConfigError(
                 f"link bandwidth must be positive, got {self.bandwidth_gbs!r}"
+            )
+        if math.isnan(self.latency_s) or math.isinf(self.latency_s):
+            raise ConfigError(
+                f"link latency must be finite, got {self.latency_s!r}"
             )
         if self.latency_s < 0:
             raise ConfigError(
@@ -63,6 +69,24 @@ class LinkSpec:
         if math.isinf(self.bandwidth_gbs):
             return self.latency_s
         return self.latency_s + n_bytes / self.bytes_per_second
+
+    def degraded(self, factor: float) -> "LinkSpec":
+        """A validated derived spec running ``factor``× worse.
+
+        Bandwidth divides by ``factor`` and the hop latency multiplies by
+        it — both ends of the transfer cost get worse, matching a link that
+        has dropped to a lower speed grade or is retrying at the PHY layer.
+        ``factor == 1`` returns an equivalent spec; an infinite-bandwidth
+        link stays infinite (only its latency degrades).
+        """
+        if math.isnan(factor) or math.isinf(factor):
+            raise ConfigError(f"degrade factor must be finite, got {factor!r}")
+        if factor < 1:
+            raise ConfigError(f"degrade factor must be >= 1, got {factor!r}")
+        return LinkSpec(
+            bandwidth_gbs=self.bandwidth_gbs / factor,
+            latency_s=self.latency_s * factor,
+        )
 
     def describe(self) -> str:
         bw = "inf" if math.isinf(self.bandwidth_gbs) else f"{self.bandwidth_gbs:g}"

@@ -1,0 +1,65 @@
+"""Fault injection, degraded-mode replanning, and failover (``repro chaos``).
+
+The paper's accelerator is evaluated healthy; this package asks what the
+stack does when hardware misbehaves, reusing the planning machinery
+instead of inventing new models:
+
+- :mod:`repro.resilience.faults` — seeded, deterministic fault schedules:
+  replica fail-stop/fail-slow, inter-chip link degradation windows, and
+  PE row/column masks;
+- :mod:`repro.resilience.degrade` — a PE mask shrinks the effective
+  ``Tin x Tout`` array; Algorithm 2 and the planner re-run at the new
+  geometry through the schedule cache, reporting scheme flips and the
+  latency bill;
+- :mod:`repro.resilience.repair` — a pipelined deployment that loses a
+  chip re-runs the DP bottleneck balancer over the survivors, with the
+  weight re-shipment charged through the link model;
+- :mod:`repro.resilience.scenarios` — named chaos scenarios pairing a
+  fault schedule with a serving workload: the same seeded requests run
+  healthy and faulted through :class:`~repro.serve.failover.FailoverEngine`,
+  reduced to availability, goodput-under-fault, MTTR and latency ratios
+  as byte-stable JSON.
+
+See ``docs/resilience.md`` for the fault taxonomy and the rollup glossary.
+"""
+
+from repro.resilience.degrade import (
+    DegradeReport,
+    SchemeFlip,
+    degraded_config,
+    replan_degraded,
+)
+from repro.resilience.faults import (
+    FaultSchedule,
+    LinkFault,
+    PEMask,
+    ReplicaFault,
+    flapping_link,
+)
+from repro.resilience.repair import RepairPlan, repair_pipeline
+from repro.resilience.scenarios import (
+    SCENARIO_NAMES,
+    ChaosScenario,
+    build_scenario,
+    rollup_to_json,
+    run_scenario,
+)
+
+__all__ = [
+    "ChaosScenario",
+    "DegradeReport",
+    "FaultSchedule",
+    "LinkFault",
+    "PEMask",
+    "RepairPlan",
+    "ReplicaFault",
+    "SCENARIO_NAMES",
+    "SchemeFlip",
+    "build_scenario",
+    "degraded_config",
+    "flapping_link",
+    "repair_pipeline",
+    "replan_degraded",
+    "rollup_to_json",
+    "run_scenario",
+]

@@ -1,0 +1,276 @@
+"""Fault models: seeded, deterministic fault schedules.
+
+A :class:`FaultSchedule` bundles everything that can go wrong with a
+deployment into one validated, serializable object:
+
+* **replica faults** — :class:`~repro.serve.failover.ReplicaFault`
+  fail-stop crashes and fail-slow windows, consumed by the
+  :class:`~repro.serve.failover.FailoverEngine`;
+* **link faults** — :class:`LinkFault` degradation windows on the
+  inter-chip :class:`~repro.cluster.link.LinkSpec` (a *flap* is just a
+  periodic train of short windows, see :func:`flapping_link`);
+* **PE mask** — :class:`PEMask`, rows/columns of the PE array fused off,
+  from which :mod:`repro.resilience.degrade` derives a degraded
+  :class:`~repro.arch.config.AcceleratorConfig` and re-runs Algorithm 2.
+
+Schedules are either written explicitly or drawn from
+:meth:`FaultSchedule.seeded` — a :class:`random.Random` seeded explicitly,
+so the same seed always produces the identical schedule and everything
+downstream (the chaos runner, the benchmark) is bit-deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.serve.failover import ReplicaFault
+
+__all__ = [
+    "PEMask",
+    "LinkFault",
+    "FaultSchedule",
+    "flapping_link",
+    "ReplicaFault",
+]
+
+
+@dataclass(frozen=True)
+class PEMask:
+    """Rows/columns of the PE array masked off (fused away after a defect).
+
+    The computation engine is a ``Tin x Tout`` multiplier array feeding
+    ``Tout`` adder trees: masking a *column* removes one input lane
+    (effective ``Tin`` shrinks), masking a *row* removes one adder tree
+    (effective ``Tout`` shrinks) — exactly the geometry change a narrow
+    conv1 presents, which is why Algorithm 2 re-plans rather than fails.
+    """
+
+    masked_cols: int = 0
+    masked_rows: int = 0
+
+    def __post_init__(self) -> None:
+        for attr in ("masked_cols", "masked_rows"):
+            value = getattr(self, attr)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(f"{attr} must be an int, got {value!r}")
+            if value < 0:
+                raise ConfigError(f"{attr} must be >= 0, got {value!r}")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.masked_cols == 0 and self.masked_rows == 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"masked_cols": self.masked_cols, "masked_rows": self.masked_rows}
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One inter-chip link degradation window.
+
+    During ``[time_s, time_s + duration_s)`` the link runs at
+    ``LinkSpec.degraded(factor)`` — bandwidth divided and hop latency
+    multiplied by ``factor``.
+    """
+
+    time_s: float
+    factor: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.time_s) or self.time_s < 0:
+            raise ConfigError(f"link fault time must be >= 0, got {self.time_s!r}")
+        if math.isnan(self.factor) or math.isinf(self.factor) or self.factor < 1:
+            raise ConfigError(
+                f"link degrade factor must be finite and >= 1, got {self.factor!r}"
+            )
+        if math.isnan(self.duration_s) or self.duration_s <= 0 or math.isinf(self.duration_s):
+            raise ConfigError(
+                f"link fault duration must be positive and finite, "
+                f"got {self.duration_s!r}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.time_s + self.duration_s
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "time_ms": round(self.time_s * 1e3, 6),
+            "factor": round(self.factor, 6),
+            "duration_ms": round(self.duration_s * 1e3, 6),
+        }
+
+
+def flapping_link(
+    start_s: float,
+    period_s: float,
+    down_fraction: float,
+    factor: float,
+    flaps: int,
+) -> Tuple[LinkFault, ...]:
+    """A flapping link: ``flaps`` periodic degradation windows.
+
+    Each period of ``period_s`` seconds starts with a degraded window
+    lasting ``down_fraction`` of the period at ``factor``× worse link
+    parameters — the classic symptom of a renegotiating PHY.
+    """
+    if math.isnan(start_s) or start_s < 0:
+        raise ConfigError(f"flap start must be >= 0, got {start_s!r}")
+    if not period_s > 0:
+        raise ConfigError(f"flap period must be positive, got {period_s!r}")
+    if not 0 < down_fraction < 1:
+        raise ConfigError(
+            f"down_fraction must be in (0, 1), got {down_fraction!r}"
+        )
+    if isinstance(flaps, bool) or not isinstance(flaps, int) or flaps <= 0:
+        raise ConfigError(f"flap count must be a positive int, got {flaps!r}")
+    return tuple(
+        LinkFault(
+            time_s=start_s + k * period_s,
+            factor=factor,
+            duration_s=down_fraction * period_s,
+        )
+        for k in range(flaps)
+    )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything injected into one chaos run, validated and serializable."""
+
+    replica_faults: Tuple[ReplicaFault, ...] = ()
+    link_faults: Tuple[LinkFault, ...] = ()
+    pe_mask: Optional[PEMask] = None
+    seed: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        # normalize to deterministic order regardless of construction order
+        object.__setattr__(
+            self,
+            "replica_faults",
+            tuple(
+                sorted(self.replica_faults, key=lambda f: (f.time_s, f.replica))
+            ),
+        )
+        object.__setattr__(
+            self,
+            "link_faults",
+            tuple(sorted(self.link_faults, key=lambda f: f.time_s)),
+        )
+
+    @property
+    def crashes(self) -> Tuple[ReplicaFault, ...]:
+        return tuple(f for f in self.replica_faults if f.kind == "crash")
+
+    @property
+    def slowdowns(self) -> Tuple[ReplicaFault, ...]:
+        return tuple(f for f in self.replica_faults if f.kind == "slow")
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.replica_faults
+            and not self.link_faults
+            and (self.pe_mask is None or self.pe_mask.is_noop)
+        )
+
+    def first_crash_s(self) -> Optional[float]:
+        crashes = self.crashes
+        return crashes[0].time_s if crashes else None
+
+    def validate_for(self, n_replicas: int) -> None:
+        """Reject faults targeting replicas the deployment does not have."""
+        for fault in self.replica_faults:
+            if fault.replica >= n_replicas:
+                raise ConfigError(
+                    f"fault targets replica {fault.replica} but the "
+                    f"deployment has only {n_replicas} replicas"
+                )
+        if len({f.replica for f in self.crashes}) >= n_replicas:
+            # allowed, but the run will end in FAILED_NO_REPLICAS for the
+            # tail of the workload — that is a legitimate scenario
+            pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "replica_faults": [f.to_dict() for f in self.replica_faults],
+            "link_faults": [f.to_dict() for f in self.link_faults],
+            "pe_mask": self.pe_mask.to_dict() if self.pe_mask else None,
+        }
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_replicas: int,
+        duration_s: float,
+        crashes: int = 1,
+        slowdowns: int = 0,
+        slow_factor_range: Tuple[float, float] = (2.0, 8.0),
+        slow_duration_s: float = 1.0,
+        link_flaps: int = 0,
+        link_factor: float = 4.0,
+    ) -> "FaultSchedule":
+        """Draw a deterministic random schedule from one explicit seed.
+
+        Fault times land in the middle 60% of the run (``[0.2, 0.8) *
+        duration``) so the healthy steady state is observable on both
+        sides.  Crashes pick distinct replicas; slowdowns pick any replica
+        not already crashed before the slowdown starts.
+        """
+        if crashes + slowdowns > 0 and n_replicas <= 0:
+            raise ConfigError("seeded schedule needs at least one replica")
+        if crashes > n_replicas:
+            raise ConfigError(
+                f"cannot crash {crashes} of {n_replicas} replicas"
+            )
+        if not duration_s > 0:
+            raise ConfigError(f"duration must be positive, got {duration_s!r}")
+        rng = random.Random(seed)
+
+        def mid_time() -> float:
+            return (0.2 + 0.6 * rng.random()) * duration_s
+
+        replica_faults: List[ReplicaFault] = []
+        crash_rids = rng.sample(range(n_replicas), crashes)
+        crash_at: Dict[int, float] = {}
+        for rid in crash_rids:
+            t = mid_time()
+            crash_at[rid] = t
+            replica_faults.append(ReplicaFault("crash", rid, t))
+        for _ in range(slowdowns):
+            rid = rng.randrange(n_replicas)
+            t = mid_time()
+            if rid in crash_at and crash_at[rid] <= t:
+                continue  # already dead; drawing again would bias the rng
+            lo, hi = slow_factor_range
+            replica_faults.append(
+                ReplicaFault(
+                    "slow",
+                    rid,
+                    t,
+                    factor=round(lo + (hi - lo) * rng.random(), 3),
+                    duration_s=slow_duration_s,
+                )
+            )
+        link_faults: Tuple[LinkFault, ...] = ()
+        if link_flaps:
+            period = 0.6 * duration_s / link_flaps
+            link_faults = flapping_link(
+                start_s=0.2 * duration_s,
+                period_s=period,
+                down_fraction=0.4,
+                factor=link_factor,
+                flaps=link_flaps,
+            )
+        return cls(
+            replica_faults=tuple(replica_faults),
+            link_faults=link_faults,
+            seed=seed,
+        )

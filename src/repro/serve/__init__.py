@@ -18,13 +18,25 @@ existing planning machinery:
   replicas with round-robin or least-loaded routing;
 - :mod:`repro.serve.metrics` — per-tenant/per-network latency percentiles,
   queue-wait vs. compute breakdown, goodput, shed rate and utilization,
-  exportable as byte-stable JSON.
+  exportable as byte-stable JSON;
+- :mod:`repro.serve.failover` — the fault-aware tier: replica fail-stop /
+  fail-slow injection, health checking, retry with capped exponential
+  backoff, hedging, and drain-to-survivors (driven by
+  :mod:`repro.resilience`).
 
 See ``docs/serving.md`` for the queueing model and the metrics glossary.
 """
 
 from repro.serve.batcher import BatchCoster, BatchPolicy
 from repro.serve.engine import ReplicaState, ServingEngine, ServingReport, ROUTING_KINDS
+from repro.serve.failover import (
+    FAULT_KINDS,
+    FailoverEngine,
+    FailoverPolicy,
+    FaultyReplica,
+    HealthChecker,
+    ReplicaFault,
+)
 from repro.serve.metrics import (
     MetricsCollector,
     RequestRecord,
@@ -48,6 +60,12 @@ __all__ = [
     "AdmissionQueue",
     "BatchCoster",
     "BatchPolicy",
+    "FAULT_KINDS",
+    "FailoverEngine",
+    "FailoverPolicy",
+    "FaultyReplica",
+    "HealthChecker",
+    "ReplicaFault",
     "MetricsCollector",
     "QUEUE_ORDERS",
     "QueuePolicy",

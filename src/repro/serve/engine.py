@@ -48,6 +48,19 @@ class ReplicaState:
     free_at: float = 0.0
     busy_s: float = 0.0
     batches: int = 0
+    completed: int = 0
+
+    def detail(self, makespan_s: float) -> Dict[str, object]:
+        """JSON-friendly per-replica stats (the health checker's input)."""
+        return {
+            "rid": self.rid,
+            "busy_ms": round(self.busy_s * 1e3, 6),
+            "batches": self.batches,
+            "completed": self.completed,
+            "utilization": round(self.busy_s / makespan_s, 6)
+            if makespan_s
+            else 0.0,
+        }
 
 
 class _Router:
@@ -209,6 +222,7 @@ class ServingEngine:
                 replica.free_at = finish
                 replica.busy_s += service
                 replica.batches += 1
+                replica.completed += len(batch)
                 router.commit()
                 metrics.record_batch(len(batch))
                 for request in batch:
@@ -228,6 +242,9 @@ class ServingEngine:
 
         busy_s = sum(r.busy_s for r in replicas)
         summary = metrics.summary(duration_s, self.n_replicas, busy_s)
+        summary["per_replica"] = [
+            r.detail(summary["makespan_s"]) for r in replicas
+        ]
         summary["engine"] = {
             "config": self.config.name,
             "plan_policy": self.plan_policy,

@@ -1,0 +1,699 @@
+"""Failover serving: health checking, fault-aware routing, retries, hedging.
+
+The plain :class:`~repro.serve.engine.ServingEngine` assumes every replica
+is immortal.  This module replays the same discrete-event semantics under
+*injected replica faults*:
+
+* **fail-stop** — a replica crashes at a scheduled instant and never
+  returns.  Work in flight on it (and anything naively dispatched to it
+  before the failure is noticed) is lost, detected, and retried on the
+  survivors;
+* **fail-slow** — a replica's service times multiply by ``factor`` for a
+  window, the gray-failure mode that silently destroys tail latency.
+
+A :class:`HealthChecker` models the detection loop: it probes on a fixed
+interval, marks a crashed replica ``down`` at the first probe tick after
+the crash, and marks a replica ``slow`` when its observed service time
+exceeds the expected time by a threshold.  The fault-aware router excludes
+``down`` replicas and (on ``least-loaded``) deprioritizes ``slow`` ones;
+round-robin simply cycles over the replicas still believed alive.
+
+Recovery semantics:
+
+* requests lost to a crash re-enter the queue with **capped exponential
+  backoff** (``min(cap, base * 2^(attempt-1))``) and a bounded retry
+  budget; exhausting it fails the request *with a reason* — nothing is
+  ever silently dropped (asserted by the accounting invariant
+  ``offered == completed + shed + failed``);
+* with :attr:`FailoverPolicy.hedge` enabled, a batch dispatched to a
+  replica currently marked slow is duplicated onto an idle healthy
+  replica; the first finisher wins and the loser's occupancy is charged
+  as ``hedge_wasted``.
+
+All of it is driven by simulated time only, so a run is a deterministic
+function of (workload, faults, policies) — the chaos scenarios in
+:mod:`repro.resilience.scenarios` rely on that to emit byte-stable JSON.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.perf.instrument import phase
+from repro.serve.batcher import BatchCoster, BatchPolicy
+from repro.serve.engine import ServingReport, ROUTING_KINDS
+from repro.serve.metrics import MetricsCollector, RequestRecord
+from repro.serve.queue import AdmissionQueue, QueuePolicy
+from repro.serve.workload import Request
+
+__all__ = [
+    "ReplicaFault",
+    "FaultyReplica",
+    "FailoverPolicy",
+    "HealthChecker",
+    "FailoverEngine",
+    "FAULT_KINDS",
+    "REPLICA_STATUSES",
+    "FAILED_RETRIES",
+    "FAILED_NO_REPLICAS",
+]
+
+FAULT_KINDS = ("crash", "slow")
+REPLICA_STATUSES = ("up", "slow", "down")
+
+#: failure reasons, the keys of the ``failed_by_reason`` breakdown
+FAILED_RETRIES = "retries_exhausted"
+FAILED_NO_REPLICAS = "no_replicas"
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """One scheduled replica fault.
+
+    ``crash`` is fail-stop: permanent from ``time_s`` on (``factor`` and
+    ``duration_s`` are ignored).  ``slow`` multiplies the replica's service
+    times by ``factor`` for ``duration_s`` seconds starting at ``time_s``.
+    """
+
+    kind: str
+    replica: int
+    time_s: float
+    factor: float = 1.0
+    duration_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if isinstance(self.replica, bool) or not isinstance(self.replica, int):
+            raise ConfigError(
+                f"fault replica must be an int, got {self.replica!r}"
+            )
+        if self.replica < 0:
+            raise ConfigError(
+                f"fault replica must be >= 0, got {self.replica!r}"
+            )
+        if math.isnan(self.time_s) or self.time_s < 0:
+            raise ConfigError(f"fault time must be >= 0, got {self.time_s!r}")
+        if self.kind == "slow":
+            if math.isnan(self.factor) or self.factor < 1:
+                raise ConfigError(
+                    f"slow factor must be >= 1, got {self.factor!r}"
+                )
+            if math.isnan(self.duration_s) or self.duration_s <= 0:
+                raise ConfigError(
+                    f"slow duration must be positive, got {self.duration_s!r}"
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "replica": self.replica,
+            "time_ms": round(self.time_s * 1e3, 6),
+        }
+        if self.kind == "slow":
+            out["factor"] = round(self.factor, 6)
+            out["duration_ms"] = (
+                "inf"
+                if math.isinf(self.duration_s)
+                else round(self.duration_s * 1e3, 6)
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """Detection, retry, and hedging knobs of the failover tier."""
+
+    #: health probe period; a crash is noticed at the first probe tick
+    #: strictly after it happens
+    detect_interval_s: float = 0.05
+    #: retry budget per request beyond the first attempt
+    max_retries: int = 2
+    #: capped exponential backoff before a retry re-enters the queue
+    backoff_base_ms: float = 5.0
+    backoff_cap_ms: float = 80.0
+    #: duplicate batches dispatched to slow-marked replicas onto a healthy
+    #: idle one (first finisher wins)
+    hedge: bool = False
+    #: observed/expected service ratio at which a replica is marked slow
+    slow_threshold: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not self.detect_interval_s > 0 or math.isinf(self.detect_interval_s):
+            raise ConfigError(
+                f"detect_interval_s must be positive and finite, "
+                f"got {self.detect_interval_s!r}"
+            )
+        if isinstance(self.max_retries, bool) or not isinstance(
+            self.max_retries, int
+        ):
+            raise ConfigError(
+                f"max_retries must be an int, got {self.max_retries!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if not self.backoff_base_ms >= 0:
+            raise ConfigError(
+                f"backoff_base_ms must be >= 0, got {self.backoff_base_ms!r}"
+            )
+        if not self.backoff_cap_ms >= self.backoff_base_ms:
+            raise ConfigError(
+                f"backoff_cap_ms must be >= backoff_base_ms, "
+                f"got {self.backoff_cap_ms!r} < {self.backoff_base_ms!r}"
+            )
+        if not self.slow_threshold > 1:
+            raise ConfigError(
+                f"slow_threshold must be > 1, got {self.slow_threshold!r}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) re-queues."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt!r}")
+        return min(self.backoff_cap_ms, self.backoff_base_ms * 2 ** (attempt - 1)) / 1e3
+
+    def describe(self) -> str:
+        return (
+            f"failover(detect={self.detect_interval_s * 1e3:g}ms, "
+            f"retries={self.max_retries}, "
+            f"backoff={self.backoff_base_ms:g}..{self.backoff_cap_ms:g}ms"
+            + (", hedged" if self.hedge else "")
+            + ")"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "detect_interval_ms": round(self.detect_interval_s * 1e3, 6),
+            "max_retries": self.max_retries,
+            "backoff_base_ms": round(self.backoff_base_ms, 6),
+            "backoff_cap_ms": round(self.backoff_cap_ms, 6),
+            "hedge": self.hedge,
+            "slow_threshold": round(self.slow_threshold, 6),
+        }
+
+
+class HealthChecker:
+    """Tracks each replica's believed status and the transition timeline.
+
+    The checker sees only what a real one could: completion latencies
+    (compared against the planner's expected service time) and probe
+    timeouts.  A crash at ``t`` is *believed* only at the first probe tick
+    strictly after ``t`` — the window in between is exactly where doomed
+    dispatches happen.
+    """
+
+    def __init__(self, n_replicas: int, policy: FailoverPolicy) -> None:
+        self.policy = policy
+        self._status: Dict[int, str] = {rid: "up" for rid in range(n_replicas)}
+        #: (time_s, rid, new status) transitions, in occurrence order
+        self.timeline: List[Tuple[float, int, str]] = []
+
+    def status(self, rid: int) -> str:
+        return self._status[rid]
+
+    def is_down(self, rid: int) -> bool:
+        return self._status[rid] == "down"
+
+    def is_slow(self, rid: int) -> bool:
+        return self._status[rid] == "slow"
+
+    def alive_rids(self) -> List[int]:
+        """Replicas not believed down, in rid order."""
+        return sorted(r for r, s in self._status.items() if s != "down")
+
+    def detection_time(self, crash_s: float) -> float:
+        """First probe tick strictly after the crash instant."""
+        k = math.floor(crash_s / self.policy.detect_interval_s) + 1
+        return k * self.policy.detect_interval_s
+
+    def _transition(self, t: float, rid: int, status: str) -> None:
+        if self._status[rid] != status:
+            self._status[rid] = status
+            self.timeline.append((t, rid, status))
+
+    def mark_down(self, t: float, rid: int) -> None:
+        self._transition(t, rid, "down")
+
+    def observe_completion(
+        self, t: float, rid: int, observed_s: float, expected_s: float
+    ) -> None:
+        """Classify a replica from one completed batch's service time."""
+        if self._status[rid] == "down":
+            return
+        if expected_s > 0 and observed_s >= self.policy.slow_threshold * expected_s:
+            self._transition(t, rid, "slow")
+        else:
+            self._transition(t, rid, "up")
+
+    def timeline_dicts(self) -> List[Dict[str, object]]:
+        return [
+            {"time_ms": round(t * 1e3, 6), "replica": rid, "status": status}
+            for t, rid, status in self.timeline
+        ]
+
+
+@dataclass
+class FaultyReplica:
+    """One replica's occupancy plus its fault bookkeeping."""
+
+    rid: int
+    free_at: float = 0.0
+    busy_s: float = 0.0
+    batches: int = 0
+    completed: int = 0
+    crashed_at: Optional[float] = None
+    detected: bool = False
+    slow_from: float = math.inf
+    slow_until: float = -math.inf
+    slow_factor: float = 1.0
+    inflight: Optional["_BatchJob"] = None
+
+    def crashed_by(self, t: float) -> bool:
+        return self.crashed_at is not None and self.crashed_at <= t
+
+    def service_multiplier(self, t: float) -> float:
+        """The fail-slow multiplier in force at dispatch time ``t``."""
+        if self.slow_from <= t < self.slow_until:
+            return self.slow_factor
+        return 1.0
+
+    def detail(self, makespan_s: float, status: str) -> Dict[str, object]:
+        return {
+            "rid": self.rid,
+            "busy_ms": round(self.busy_s * 1e3, 6),
+            "batches": self.batches,
+            "completed": self.completed,
+            "utilization": round(self.busy_s / makespan_s, 6)
+            if makespan_s
+            else 0.0,
+            "status": status,
+            "crashed_ms": round(self.crashed_at * 1e3, 6)
+            if self.crashed_at is not None
+            else None,
+        }
+
+
+@dataclass
+class _BatchJob:
+    """One dispatched batch, possibly running on two replicas (hedge)."""
+
+    requests: List[Request]
+    network: str
+    dispatched_at: float
+    expected_s: float
+    done: bool = field(default=False)
+
+
+class FailoverEngine:
+    """Discrete-event serving simulator with replica fault injection.
+
+    The interface mirrors :class:`~repro.serve.engine.ServingEngine`; the
+    extra inputs are ``faults`` (the replica fault schedule) and
+    ``failover_policy``.  ``service_windows`` applies a global service-time
+    multiplier over ``[start, end)`` windows — the hook the chaos runner
+    uses to model a degraded/flapping shared interconnect under a sharded
+    deployment.
+    """
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        batch_policy: BatchPolicy = BatchPolicy(),
+        queue_policy: QueuePolicy = QueuePolicy(),
+        replicas: int = 1,
+        routing: str = "round-robin",
+        plan_policy: str = "adaptive-2",
+        coster: Optional[BatchCoster] = None,
+        faults: Sequence[ReplicaFault] = (),
+        failover_policy: FailoverPolicy = FailoverPolicy(),
+        service_windows: Sequence[Tuple[float, float, float]] = (),
+    ) -> None:
+        if isinstance(replicas, bool) or not isinstance(replicas, int):
+            raise ConfigError(
+                f"replicas must be an int, got {replicas!r} "
+                f"({type(replicas).__name__})"
+            )
+        if replicas <= 0:
+            raise ConfigError(f"replicas must be positive, got {replicas!r}")
+        if routing not in ROUTING_KINDS:
+            raise ConfigError(
+                f"unknown routing {routing!r}; choose from {ROUTING_KINDS}"
+            )
+        for fault in faults:
+            if fault.replica >= replicas:
+                raise ConfigError(
+                    f"fault targets replica {fault.replica} but the tier "
+                    f"has only {replicas} replicas"
+                )
+        for start, end, mult in service_windows:
+            if not end > start:
+                raise ConfigError(
+                    f"service window must have end > start, got "
+                    f"[{start!r}, {end!r})"
+                )
+            if not mult >= 1:
+                raise ConfigError(
+                    f"service multiplier must be >= 1, got {mult!r}"
+                )
+        self.config = config
+        self.batch_policy = batch_policy
+        self.queue_policy = queue_policy
+        self.n_replicas = replicas
+        self.routing = routing
+        self.plan_policy = plan_policy
+        self.coster = coster or BatchCoster(config, policy=plan_policy)
+        self.faults = tuple(sorted(faults, key=lambda f: (f.time_s, f.replica)))
+        self.failover_policy = failover_policy
+        self.service_windows = tuple(
+            sorted((float(s), float(e), float(m)) for s, e, m in service_windows)
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _window_multiplier(self, t: float) -> float:
+        mult = 1.0
+        for start, end, m in self.service_windows:
+            if start <= t < end:
+                mult = max(mult, m)
+        return mult
+
+    def _ready_candidates(
+        self, queue: AdmissionQueue
+    ) -> List[Tuple[float, float, str]]:
+        out = []
+        for net in queue.networks():
+            oldest = queue.oldest_arrival(net)
+            ready = self.batch_policy.ready_time(oldest, queue.depth(net))
+            out.append((ready, oldest, net))
+        out.sort()
+        return out
+
+    def _pick_replica(
+        self, states: List[FaultyReplica], health: HealthChecker, rr_last: int
+    ) -> Optional[FaultyReplica]:
+        """The replica the next dispatch would use, or ``None`` if all down.
+
+        Round-robin cycles over the replicas not believed down, resuming
+        after the last dispatched rid.  Least-loaded picks the earliest
+        free believed-alive replica, deprioritizing slow-marked ones and
+        breaking ties on rid — deterministic by construction.
+        """
+        alive = [states[r] for r in health.alive_rids()]
+        if not alive:
+            return None
+        if self.routing == "round-robin":
+            for s in alive:
+                if s.rid > rr_last:
+                    return s
+            return alive[0]
+        return min(alive, key=lambda s: (s.free_at, health.is_slow(s.rid), s.rid))
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        duration_s: float,
+        extra_meta: Optional[Dict[str, object]] = None,
+    ) -> ServingReport:
+        """Simulate serving ``requests`` under the injected fault schedule.
+
+        Every offered request terminates exactly once: completed, shed
+        (queue policy), or failed with a reason (retry budget exhausted,
+        or no replicas left alive).
+        """
+        if duration_s <= 0:
+            raise ConfigError(f"duration must be positive, got {duration_s!r}")
+        with phase("serve_failover_run"):
+            return self._run(list(requests), duration_s, extra_meta)
+
+    def _run(
+        self,
+        requests: List[Request],
+        duration_s: float,
+        extra_meta: Optional[Dict[str, object]],
+    ) -> ServingReport:
+        policy = self.failover_policy
+        requests.sort(key=lambda r: (r.arrival_s, r.rid))
+        queue = AdmissionQueue(self.queue_policy)
+        metrics = MetricsCollector()
+        health = HealthChecker(self.n_replicas, policy)
+        states = [FaultyReplica(rid) for rid in range(self.n_replicas)]
+        attempts: Dict[int, int] = {}
+        #: (available_at, request) retries waiting out their backoff
+        retry_pool: List[Tuple[float, Request]] = []
+        retries_scheduled = 0
+        hedges = 0
+        hedge_wasted_s = 0.0
+        rr_last = -1
+
+        def fail(request: Request, reason: str) -> None:
+            metrics.record_failure(request.tenant, reason)
+
+        def lose_job(job: _BatchJob, t: float) -> None:
+            """Drain a lost batch to retries / failures (crash recovery)."""
+            nonlocal retries_scheduled
+            if job.done:
+                return
+            job.done = True
+            for request in job.requests:
+                attempt = attempts.get(request.rid, 0) + 1
+                attempts[request.rid] = attempt
+                if attempt > policy.max_retries:
+                    fail(request, FAILED_RETRIES)
+                else:
+                    retries_scheduled += 1
+                    retry_pool.append((t + policy.backoff_s(attempt), request))
+            retry_pool.sort(key=lambda e: (e[0], e[1].rid))
+
+        fault_idx = 0
+        i = 0
+        n = len(requests)
+        t = 0.0
+        while True:
+            # -- next event time ----------------------------------------
+            next_times: List[float] = []
+            if i < n:
+                next_times.append(requests[i].arrival_s)
+            if fault_idx < len(self.faults):
+                next_times.append(self.faults[fault_idx].time_s)
+            if retry_pool:
+                next_times.append(retry_pool[0][0])
+            for s in states:
+                if s.inflight is not None and not s.crashed_by(s.free_at):
+                    next_times.append(s.free_at)  # a live completion
+                if s.crashed_at is not None and not s.detected:
+                    next_times.append(health.detection_time(s.crashed_at))
+            if len(queue):
+                pick = self._pick_replica(states, health, rr_last)
+                if pick is not None:
+                    ready = self._ready_candidates(queue)[0][0]
+                    dispatch_at = max(ready, pick.free_at)
+                    if not math.isinf(dispatch_at):
+                        next_times.append(dispatch_at)
+            next_times = [x for x in next_times if not math.isinf(x)]
+            if not next_times:
+                break
+            t = max(t, min(next_times))
+
+            # -- 1. faults scheduled at or before t ---------------------
+            while fault_idx < len(self.faults) and self.faults[fault_idx].time_s <= t:
+                fault = self.faults[fault_idx]
+                fault_idx += 1
+                s = states[fault.replica]
+                if fault.kind == "crash":
+                    if s.crashed_at is None:
+                        s.crashed_at = fault.time_s
+                        if s.inflight is not None:
+                            # it will never report the completion: appears
+                            # busy until the probe loop notices the crash
+                            s.free_at = math.inf
+                else:
+                    s.slow_from = fault.time_s
+                    s.slow_until = fault.time_s + fault.duration_s
+                    s.slow_factor = fault.factor
+
+            # -- 2. completions on live replicas ------------------------
+            for s in states:
+                if s.inflight is None or s.free_at > t:
+                    continue
+                if s.crashed_by(s.free_at):
+                    continue  # died mid-batch; recovered at detection
+                job = s.inflight
+                s.inflight = None
+                service = s.free_at - job.dispatched_at
+                if job.done:
+                    # the hedge twin finished first; this run was wasted
+                    hedge_wasted_s += service
+                    continue
+                job.done = True
+                s.completed += len(job.requests)
+                health.observe_completion(s.free_at, s.rid, service, job.expected_s)
+                metrics.record_batch(len(job.requests))
+                for request in job.requests:
+                    metrics.record_completion(
+                        RequestRecord(
+                            rid=request.rid,
+                            tenant=request.tenant,
+                            network=request.network,
+                            arrival_s=request.arrival_s,
+                            start_s=job.dispatched_at,
+                            finish_s=s.free_at,
+                            deadline_s=request.deadline_s,
+                            batch_size=len(job.requests),
+                            replica=s.rid,
+                        )
+                    )
+
+            # -- 3. crash detections ------------------------------------
+            for s in states:
+                if (
+                    s.crashed_at is not None
+                    and not s.detected
+                    and health.detection_time(s.crashed_at) <= t
+                ):
+                    s.detected = True
+                    detect_t = health.detection_time(s.crashed_at)
+                    health.mark_down(detect_t, s.rid)
+                    if s.inflight is not None:
+                        lose_job(s.inflight, detect_t)
+                        s.inflight = None
+                    s.free_at = math.inf
+
+            # -- 4. arrivals at or before t -----------------------------
+            while i < n and requests[i].arrival_s <= t:
+                request = requests[i]
+                shed = queue.offer(request, request.arrival_s)
+                if shed is not None:
+                    metrics.record_shed(request.tenant, shed.reason)
+                i += 1
+
+            # -- 5. retries whose backoff expired -----------------------
+            while retry_pool and retry_pool[0][0] <= t:
+                _, request = retry_pool.pop(0)
+                shed = queue.offer(request, t)
+                if shed is not None:
+                    metrics.record_shed(request.tenant, shed.reason)
+
+            # -- 6. dispatch everything dispatchable at t ---------------
+            while len(queue):
+                replica = self._pick_replica(states, health, rr_last)
+                if replica is None or replica.free_at > t:
+                    break
+                ready, _, network = self._ready_candidates(queue)[0]
+                if ready > t:
+                    break
+                batch, shed_events = queue.pop_batch(
+                    network, self.batch_policy.max_batch, t
+                )
+                for event in shed_events:
+                    metrics.record_shed(event.request.tenant, event.reason)
+                if not batch:
+                    continue
+                expected = self.coster.batch_seconds(network, len(batch))
+                expected *= self._window_multiplier(t)
+                job = _BatchJob(
+                    requests=batch,
+                    network=network,
+                    dispatched_at=t,
+                    expected_s=expected,
+                )
+                rr_last = replica.rid
+                if replica.crashed_by(t):
+                    # a doomed dispatch into the detection window: the
+                    # batch is lost; recovery happens at the probe tick
+                    replica.inflight = job
+                    replica.free_at = math.inf
+                    continue
+                service = expected * replica.service_multiplier(t)
+                replica.inflight = job
+                replica.free_at = t + service
+                replica.busy_s += service
+                replica.batches += 1
+                if (
+                    policy.hedge
+                    and health.is_slow(replica.rid)
+                    and len(health.alive_rids()) > 1
+                ):
+                    twin = self._hedge_target(states, health, replica.rid, t)
+                    if twin is not None:
+                        hedges += 1
+                        twin_service = expected * twin.service_multiplier(t)
+                        twin.inflight = job
+                        twin.free_at = t + twin_service
+                        twin.busy_s += twin_service
+                        twin.batches += 1
+
+        # -- drain: everything still queued has nowhere to run ----------
+        leftovers: List[Request] = [r for _, r in retry_pool]
+        while len(queue):
+            for network in queue.networks():
+                batch, shed_events = queue.pop_batch(network, len(queue), t)
+                for event in shed_events:
+                    metrics.record_shed(event.request.tenant, event.reason)
+                leftovers.extend(batch)
+        for request in sorted(leftovers, key=lambda r: r.rid):
+            fail(request, FAILED_NO_REPLICAS)
+
+        busy_s = sum(s.busy_s for s in states)
+        summary = metrics.summary(duration_s, self.n_replicas, busy_s)
+        summary["per_replica"] = [
+            s.detail(summary["makespan_s"], health.status(s.rid)) for s in states
+        ]
+        summary["terminated"] = (
+            summary["completed"] + summary["shed"] + summary["failed"]
+        )
+        summary["failover"] = {
+            "policy": policy.to_dict(),
+            "faults": [f.to_dict() for f in self.faults],
+            "retries": retries_scheduled,
+            "hedges": hedges,
+            "hedge_wasted_ms": round(hedge_wasted_s * 1e3, 6),
+            "health_timeline": health.timeline_dicts(),
+            "service_windows": [
+                {
+                    "start_ms": round(s * 1e3, 6),
+                    "end_ms": round(e * 1e3, 6),
+                    "multiplier": round(m, 6),
+                }
+                for s, e, m in self.service_windows
+            ],
+        }
+        summary["engine"] = {
+            "config": self.config.name,
+            "plan_policy": self.plan_policy,
+            "batching": self.batch_policy.describe(),
+            "max_batch": self.batch_policy.max_batch,
+            "max_wait_ms": self.batch_policy.max_wait_ms,
+            "queue_depth": self.queue_policy.max_depth,
+            "queue_order": self.queue_policy.order,
+            "routing": self.routing,
+            "failover": policy.describe(),
+        }
+        if extra_meta:
+            summary["workload"] = dict(sorted(extra_meta.items()))
+        return ServingReport(summary=summary, metrics=metrics, replicas=list(states))
+
+    def _hedge_target(
+        self,
+        states: List[FaultyReplica],
+        health: HealthChecker,
+        primary: int,
+        t: float,
+    ) -> Optional[FaultyReplica]:
+        """An idle, believed-healthy replica to duplicate a batch onto."""
+        for rid in health.alive_rids():
+            if rid == primary or health.is_slow(rid):
+                continue
+            s = states[rid]
+            if s.inflight is None and s.free_at <= t and not s.crashed_by(t):
+                return s
+        return None

@@ -95,6 +95,8 @@ class MetricsCollector:
         self.completed: List[RequestRecord] = []
         self.shed_counts: Dict[str, int] = {}
         self._shed_by_tenant: Dict[str, int] = {}
+        self.failed_counts: Dict[str, int] = {}
+        self._failed_by_tenant: Dict[str, int] = {}
         self.batch_sizes: List[int] = []
 
     # -- recording --------------------------------------------------------
@@ -109,22 +111,38 @@ class MetricsCollector:
         self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
         self._shed_by_tenant[tenant] = self._shed_by_tenant.get(tenant, 0) + 1
 
+    def record_failure(self, tenant: str, reason: str) -> None:
+        """A request the tier gave up on (crash retries exhausted, no
+        replicas left) — a *terminal* outcome distinct from shedding, so
+        the offered == completed + shed + failed invariant always holds."""
+        self.failed_counts[reason] = self.failed_counts.get(reason, 0) + 1
+        self._failed_by_tenant[tenant] = self._failed_by_tenant.get(tenant, 0) + 1
+
     # -- reduction --------------------------------------------------------
 
     @property
     def shed_total(self) -> int:
         return sum(self.shed_counts.values())
 
+    @property
+    def failed_total(self) -> int:
+        return sum(self.failed_counts.values())
+
     def _group_summary(
-        self, records: Sequence[RequestRecord], shed: int, duration_s: float
+        self,
+        records: Sequence[RequestRecord],
+        shed: int,
+        duration_s: float,
+        failed: int = 0,
     ) -> Dict[str, object]:
-        offered = len(records) + shed
+        offered = len(records) + shed + failed
         within = sum(1 for r in records if r.met_deadline)
         return {
             "offered": offered,
             "completed": len(records),
             "shed": shed,
             "shed_rate": _round(shed / offered) if offered else 0.0,
+            "failed": failed,
             "deadline_met": within,
             "deadline_hit_rate": _round(within / offered) if offered else 0.0,
             "goodput_rps": _round(within / duration_s) if duration_s else 0.0,
@@ -150,11 +168,13 @@ class MetricsCollector:
         total_busy_req = sum(r.service_s for r in self.completed)
         denom = total_wait + total_busy_req
         tenants = sorted(
-            {r.tenant for r in self.completed} | set(self._shed_by_tenant)
+            {r.tenant for r in self.completed}
+            | set(self._shed_by_tenant)
+            | set(self._failed_by_tenant)
         )
         networks = sorted({r.network for r in self.completed})
         out: Dict[str, object] = self._group_summary(
-            self.completed, self.shed_total, duration_s
+            self.completed, self.shed_total, duration_s, self.failed_total
         )
         out.update(
             {
@@ -166,6 +186,7 @@ class MetricsCollector:
                 else 0.0,
                 "queue_wait_fraction": _round(total_wait / denom) if denom else 0.0,
                 "shed_by_reason": dict(sorted(self.shed_counts.items())),
+                "failed_by_reason": dict(sorted(self.failed_counts.items())),
                 "batches": len(self.batch_sizes),
                 "mean_batch_size": _round(
                     sum(self.batch_sizes) / len(self.batch_sizes)
@@ -177,6 +198,7 @@ class MetricsCollector:
                         [r for r in self.completed if r.tenant == t],
                         self._shed_by_tenant.get(t, 0),
                         duration_s,
+                        self._failed_by_tenant.get(t, 0),
                     )
                     for t in tenants
                 },

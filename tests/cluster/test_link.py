@@ -61,3 +61,43 @@ class TestActivationBytes:
     def test_rejects_bad_word_width(self):
         with pytest.raises(ConfigError, match="word_bytes"):
             activation_bytes(TensorShape(1, 1, 1), 0)
+
+
+class TestNaNRejection:
+    def test_nan_bandwidth_rejected(self):
+        with pytest.raises(ConfigError, match="NaN"):
+            LinkSpec(bandwidth_gbs=math.nan)
+
+    def test_nan_latency_rejected(self):
+        with pytest.raises(ConfigError, match="latency"):
+            LinkSpec(latency_s=math.nan)
+
+    def test_infinite_latency_rejected(self):
+        with pytest.raises(ConfigError, match="latency"):
+            LinkSpec(latency_s=math.inf)
+
+
+class TestDegraded:
+    def test_divides_bandwidth_and_multiplies_latency(self):
+        link = LinkSpec(bandwidth_gbs=20.0, latency_s=2e-6)
+        worse = link.degraded(4.0)
+        assert worse.bandwidth_gbs == pytest.approx(5.0)
+        assert worse.latency_s == pytest.approx(8e-6)
+
+    def test_factor_one_is_equivalent(self):
+        link = LinkSpec(bandwidth_gbs=10.0, latency_s=1e-6)
+        assert link.degraded(1.0) == link
+
+    def test_infinite_bandwidth_stays_infinite(self):
+        worse = LinkSpec(bandwidth_gbs=math.inf, latency_s=1e-6).degraded(4.0)
+        assert math.isinf(worse.bandwidth_gbs)
+        assert worse.latency_s == pytest.approx(4e-6)
+
+    def test_transfers_cost_strictly_more(self):
+        link = LinkSpec(bandwidth_gbs=10.0, latency_s=1e-6)
+        assert link.degraded(2.0).transfer_seconds(10**6) > link.transfer_seconds(10**6)
+
+    @pytest.mark.parametrize("bad", [0.5, 0.0, -1.0, math.nan, math.inf])
+    def test_bad_factor_rejected(self, bad):
+        with pytest.raises(ConfigError, match="factor"):
+            LinkSpec().degraded(bad)

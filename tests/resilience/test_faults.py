@@ -1,0 +1,167 @@
+"""Fault schedule construction, validation, and seeded determinism."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience.faults import (
+    FaultSchedule,
+    LinkFault,
+    PEMask,
+    ReplicaFault,
+    flapping_link,
+)
+
+
+class TestPEMask:
+    def test_noop_default(self):
+        assert PEMask().is_noop
+        assert not PEMask(masked_cols=1).is_noop
+
+    @pytest.mark.parametrize("bad", [-1, True, 1.5, "2"])
+    def test_bad_counts_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            PEMask(masked_cols=bad)
+        with pytest.raises(ConfigError):
+            PEMask(masked_rows=bad)
+
+    def test_to_dict(self):
+        assert PEMask(masked_cols=3, masked_rows=2).to_dict() == {
+            "masked_cols": 3,
+            "masked_rows": 2,
+        }
+
+
+class TestLinkFault:
+    def test_end_time(self):
+        fault = LinkFault(time_s=1.0, factor=4.0, duration_s=0.5)
+        assert fault.end_s == 1.5
+
+    @pytest.mark.parametrize("bad_factor", [0.5, 0.0, math.nan, math.inf])
+    def test_bad_factor_rejected(self, bad_factor):
+        with pytest.raises(ConfigError, match="factor"):
+            LinkFault(time_s=0.0, factor=bad_factor, duration_s=1.0)
+
+    @pytest.mark.parametrize("bad_duration", [0.0, -1.0, math.nan, math.inf])
+    def test_bad_duration_rejected(self, bad_duration):
+        with pytest.raises(ConfigError, match="duration"):
+            LinkFault(time_s=0.0, factor=2.0, duration_s=bad_duration)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError, match="time"):
+            LinkFault(time_s=-0.1, factor=2.0, duration_s=1.0)
+
+
+class TestFlappingLink:
+    def test_periodic_windows(self):
+        flaps = flapping_link(
+            start_s=1.0, period_s=0.5, down_fraction=0.4, factor=4.0, flaps=3
+        )
+        assert [f.time_s for f in flaps] == [1.0, 1.5, 2.0]
+        assert all(f.duration_s == pytest.approx(0.2) for f in flaps)
+        assert all(f.factor == 4.0 for f in flaps)
+
+    def test_windows_do_not_overlap(self):
+        flaps = flapping_link(
+            start_s=0.0, period_s=1.0, down_fraction=0.9, factor=2.0, flaps=4
+        )
+        for a, b in zip(flaps, flaps[1:]):
+            assert a.end_s <= b.time_s
+
+    @pytest.mark.parametrize("frac", [0.0, 1.0, -0.1, 1.5])
+    def test_bad_down_fraction(self, frac):
+        with pytest.raises(ConfigError, match="down_fraction"):
+            flapping_link(0.0, 1.0, frac, 2.0, 1)
+
+    def test_bad_flap_count(self):
+        with pytest.raises(ConfigError, match="flap count"):
+            flapping_link(0.0, 1.0, 0.5, 2.0, 0)
+
+
+class TestFaultSchedule:
+    def test_normalized_to_time_order(self):
+        schedule = FaultSchedule(
+            replica_faults=(
+                ReplicaFault("crash", 1, 2.0),
+                ReplicaFault("crash", 0, 1.0),
+            )
+        )
+        assert [f.time_s for f in schedule.replica_faults] == [1.0, 2.0]
+
+    def test_crash_slow_split(self):
+        schedule = FaultSchedule(
+            replica_faults=(
+                ReplicaFault("crash", 0, 1.0),
+                ReplicaFault("slow", 1, 0.5, factor=2.0, duration_s=1.0),
+            )
+        )
+        assert len(schedule.crashes) == 1
+        assert len(schedule.slowdowns) == 1
+        assert schedule.first_crash_s() == 1.0
+
+    def test_empty_schedule(self):
+        assert FaultSchedule().is_empty
+        assert FaultSchedule(pe_mask=PEMask()).is_empty
+        assert not FaultSchedule(pe_mask=PEMask(masked_cols=1)).is_empty
+        assert FaultSchedule().first_crash_s() is None
+
+    def test_validate_for_rejects_out_of_range(self):
+        schedule = FaultSchedule(replica_faults=(ReplicaFault("crash", 3, 1.0),))
+        with pytest.raises(ConfigError, match="replica 3"):
+            schedule.validate_for(2)
+        schedule.validate_for(4)  # fine
+
+    def test_to_dict_round_trips_structure(self):
+        schedule = FaultSchedule(
+            replica_faults=(ReplicaFault("crash", 0, 1.0),),
+            pe_mask=PEMask(masked_cols=2),
+            seed=7,
+        )
+        d = schedule.to_dict()
+        assert d["seed"] == 7
+        assert d["replica_faults"][0]["kind"] == "crash"
+        assert d["pe_mask"] == {"masked_cols": 2, "masked_rows": 0}
+
+
+class TestSeeded:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.seeded(5, n_replicas=4, duration_s=4.0, crashes=2)
+        b = FaultSchedule.seeded(5, n_replicas=4, duration_s=4.0, crashes=2)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.seeded(1, n_replicas=4, duration_s=4.0, crashes=2)
+        b = FaultSchedule.seeded(2, n_replicas=4, duration_s=4.0, crashes=2)
+        assert a != b
+
+    def test_crashes_hit_distinct_replicas(self):
+        schedule = FaultSchedule.seeded(3, n_replicas=4, duration_s=4.0, crashes=4)
+        assert {f.replica for f in schedule.crashes} == {0, 1, 2, 3}
+
+    def test_fault_times_in_middle_window(self):
+        schedule = FaultSchedule.seeded(
+            11, n_replicas=3, duration_s=10.0, crashes=2, slowdowns=2
+        )
+        for fault in schedule.replica_faults:
+            assert 2.0 <= fault.time_s < 8.0
+
+    def test_too_many_crashes_rejected(self):
+        with pytest.raises(ConfigError, match="cannot crash"):
+            FaultSchedule.seeded(0, n_replicas=2, duration_s=1.0, crashes=3)
+
+    def test_link_flaps_generated(self):
+        schedule = FaultSchedule.seeded(
+            0, n_replicas=2, duration_s=4.0, crashes=0, link_flaps=3
+        )
+        assert len(schedule.link_faults) == 3
+
+    def test_slow_factor_in_range(self):
+        schedule = FaultSchedule.seeded(
+            9, n_replicas=3, duration_s=4.0, crashes=0, slowdowns=3,
+            slow_factor_range=(2.0, 4.0),
+        )
+        for fault in schedule.slowdowns:
+            assert 2.0 <= fault.factor <= 4.0

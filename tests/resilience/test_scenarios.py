@@ -1,0 +1,160 @@
+"""Chaos scenario runner: determinism, invariants, MTTR, rollup shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.cluster.link import LinkSpec
+from repro.errors import ConfigError
+from repro.resilience.faults import FaultSchedule, LinkFault, PEMask
+from repro.resilience.scenarios import (
+    SCENARIO_NAMES,
+    ChaosScenario,
+    build_scenario,
+    rollup_to_json,
+    run_scenario,
+)
+from repro.serve.batcher import BatchCoster
+
+#: one shared coster so the expensive plans derive once per test session
+_COSTER = BatchCoster(CONFIG_16_16)
+
+
+def run(name, seed=1):
+    return run_scenario(build_scenario(name, seed=seed), coster=_COSTER)
+
+
+@pytest.fixture(scope="module")
+def single_crash():
+    return run("single-crash")
+
+
+class TestRegistry:
+    def test_names_sorted_and_complete(self):
+        assert SCENARIO_NAMES == tuple(sorted(SCENARIO_NAMES))
+        for expected in ("single-crash", "fail-slow", "pe-mask", "cascade"):
+            assert expected in SCENARIO_NAMES
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            build_scenario("meteor-strike")
+
+    def test_builders_embed_seed(self):
+        scenario = build_scenario("single-crash", seed=42)
+        assert scenario.seed == 42
+        assert scenario.schedule.seed == 42
+
+
+class TestValidation:
+    def test_link_faults_require_chips(self):
+        with pytest.raises(ConfigError, match="link faults"):
+            ChaosScenario(
+                name="x",
+                description="",
+                schedule=FaultSchedule(
+                    link_faults=(LinkFault(1.0, 2.0, 0.5),)
+                ),
+                chips=1,
+            )
+
+    def test_fault_replica_out_of_range(self):
+        from repro.resilience.faults import ReplicaFault
+
+        with pytest.raises(ConfigError, match="replica 5"):
+            ChaosScenario(
+                name="x",
+                description="",
+                schedule=FaultSchedule(
+                    replica_faults=(ReplicaFault("crash", 5, 1.0),)
+                ),
+                replicas=2,
+            )
+
+
+class TestDeterminism:
+    def test_byte_identical_reruns(self, single_crash):
+        assert rollup_to_json(single_crash) == rollup_to_json(run("single-crash"))
+
+    def test_seed_changes_rollup(self, single_crash):
+        assert rollup_to_json(single_crash) != rollup_to_json(
+            run("single-crash", seed=2)
+        )
+
+
+class TestInvariants:
+    def test_every_request_terminates(self, single_crash):
+        for side in ("healthy", "faulted"):
+            digest = single_crash[side]
+            assert (
+                digest["completed"] + digest["shed"] + digest["failed"]
+                == digest["offered"]
+            )
+
+    def test_healthy_and_faulted_see_same_offered_load(self, single_crash):
+        assert single_crash["healthy"]["offered"] == single_crash["faulted"]["offered"]
+
+    def test_availability_matches_digest(self, single_crash):
+        f = single_crash["faulted"]
+        assert single_crash["availability"] == pytest.approx(
+            f["completed"] / f["offered"], abs=1e-6
+        )
+
+
+class TestRecovery:
+    def test_single_crash_recovers_to_survivor_fraction(self, single_crash):
+        rec = single_crash["recovery"]
+        assert rec["crashed_replicas"] == 1
+        assert rec["survivor_fraction"] == pytest.approx(2 / 3)
+        assert rec["recovered"] is True
+        assert rec["mttr_ms"] is not None and rec["mttr_ms"] > 0
+        # the acceptance bar: goodput under fault >= (N-1)/N of healthy
+        assert single_crash["goodput_ratio"] >= rec["survivor_fraction"]
+
+    def test_goodput_series_starts_at_crash(self, single_crash):
+        rec = single_crash["recovery"]
+        assert rec["goodput_series"][0]["t_ms"] == rec["first_crash_ms"]
+
+    def test_no_crash_no_mttr(self):
+        rollup = run("pe-mask")
+        rec = rollup["recovery"]
+        assert rec["first_crash_ms"] is None
+        assert rec["mttr_ms"] is None
+        assert rec["recovered"] is False
+
+
+class TestDegradeSection:
+    def test_pe_mask_reports_flip_and_slowdown(self):
+        rollup = run("pe-mask")
+        degrade = rollup["degrade"]["alexnet"]
+        assert degrade["degraded_pe"] == [3, 16]
+        assert any(f["layer"] == "conv1" for f in degrade["scheme_flips"])
+        assert degrade["slowdown"] > 1.5
+        # the tier actually serves at the degraded geometry
+        assert rollup["latency_ratio"]["p95"] > 1.5
+
+    def test_crash_scenarios_have_no_degrade_section(self, single_crash):
+        assert single_crash["degrade"] is None
+
+
+class TestRepairSection:
+    def test_chip_loss_reports_rebalance(self):
+        rollup = run("chip-loss")
+        repair = rollup["repair"]
+        assert repair["lost_chips"] == [1]
+        assert repair["healthy_chips"] == 3
+        assert 0.0 < repair["throughput_ratio"] <= 1.0
+        assert repair["rebalance_bytes"] > 0
+
+
+class TestLinkWindows:
+    def test_flap_windows_surface_in_failover_section(self):
+        scenario = build_scenario("link-flap", seed=1)
+        rollup = run_scenario(scenario, coster=_COSTER)
+        # three flaps -> latency under fault strictly worse than healthy
+        assert rollup["latency_ratio"]["p99"] > 1.0
+        assert len(scenario.schedule.link_faults) == 3
+
+    def test_degraded_link_validation_flows_through(self):
+        with pytest.raises(ConfigError, match="factor"):
+            LinkSpec().degraded(0.5)

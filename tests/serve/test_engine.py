@@ -240,3 +240,34 @@ class TestShedding:
             queue_policy=QueuePolicy(order="edf", shed_expired=True),
         ).run(reqs, 4)
         assert edf.summary["deadline_met"] >= fifo.summary["deadline_met"]
+
+
+class TestPerReplicaStats:
+    def test_details_cover_every_replica(self):
+        reqs = poisson_arrivals(80, 3, ALEX, seed=3)
+        report = engine(replicas=3, routing="least-loaded").run(reqs, 3)
+        per_replica = report.summary["per_replica"]
+        assert [d["rid"] for d in per_replica] == [0, 1, 2]
+
+    def test_completed_counts_sum_to_total(self):
+        reqs = poisson_arrivals(80, 3, ALEX, seed=3)
+        report = engine(replicas=2).run(reqs, 3)
+        s = report.summary
+        assert sum(d["completed"] for d in s["per_replica"]) == s["completed"]
+
+    def test_busy_time_sums_to_utilization_numerator(self):
+        reqs = poisson_arrivals(60, 2, ALEX, seed=5)
+        report = engine(replicas=2).run(reqs, 2)
+        s = report.summary
+        busy_ms = sum(d["busy_ms"] for d in s["per_replica"])
+        expected = busy_ms / 1e3 / (2 * s["makespan_s"])
+        assert s["utilization"] == pytest.approx(expected, abs=1e-5)
+
+    def test_batches_and_utilization_consistent(self):
+        reqs = poisson_arrivals(60, 2, ALEX, seed=5)
+        report = engine(replicas=2).run(reqs, 2)
+        for d in report.summary["per_replica"]:
+            assert d["batches"] >= 0
+            assert 0.0 <= d["utilization"] <= 1.0
+            if d["batches"] == 0:
+                assert d["completed"] == 0 and d["busy_ms"] == 0.0

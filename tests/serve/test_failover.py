@@ -1,0 +1,273 @@
+"""Failover engine: fault injection, detection, retries, hedging, draining.
+
+The load-bearing invariant throughout: every offered request terminates
+exactly once — completed, shed, or failed with a reason.  No silent drops,
+under any fault schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.errors import ConfigError
+from repro.serve.batcher import BatchCoster, BatchPolicy
+from repro.serve.failover import (
+    FAILED_NO_REPLICAS,
+    FAILED_RETRIES,
+    FailoverEngine,
+    FailoverPolicy,
+    HealthChecker,
+    ReplicaFault,
+)
+from repro.serve.workload import TenantSpec, poisson_arrivals
+
+ALEX = [TenantSpec("alexnet", "alexnet")]
+
+#: one shared coster so the expensive plans derive once per test session
+_COSTER = BatchCoster(CONFIG_16_16)
+
+
+def engine(**kwargs):
+    kwargs.setdefault("coster", _COSTER)
+    return FailoverEngine(CONFIG_16_16, **kwargs)
+
+
+def requests(rate=100, duration=3, seed=0, tenants=ALEX):
+    return poisson_arrivals(rate, duration, tenants, seed=seed)
+
+
+def terminated(summary):
+    return summary["completed"] + summary["shed"] + summary["failed"]
+
+
+class TestValidation:
+    def test_fault_replica_out_of_range(self):
+        with pytest.raises(ConfigError, match="replica 2"):
+            engine(replicas=2, faults=[ReplicaFault("crash", 2, 1.0)])
+
+    def test_bad_fault_kind(self):
+        with pytest.raises(ConfigError, match="fault kind"):
+            ReplicaFault("explode", 0, 1.0)
+
+    def test_slow_fault_needs_factor_above_one(self):
+        with pytest.raises(ConfigError, match="factor"):
+            ReplicaFault("slow", 0, 1.0, factor=0.5)
+
+    def test_service_window_ordering(self):
+        with pytest.raises(ConfigError, match="end > start"):
+            engine(service_windows=[(2.0, 1.0, 2.0)])
+
+    def test_service_window_multiplier(self):
+        with pytest.raises(ConfigError, match="multiplier"):
+            engine(service_windows=[(1.0, 2.0, 0.5)])
+
+
+class TestFailoverPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = FailoverPolicy(backoff_base_ms=5.0, backoff_cap_ms=80.0)
+        assert policy.backoff_s(1) == pytest.approx(0.005)
+        assert policy.backoff_s(2) == pytest.approx(0.010)
+        assert policy.backoff_s(5) == pytest.approx(0.080)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.080)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ConfigError, match="backoff_cap_ms"):
+            FailoverPolicy(backoff_base_ms=10.0, backoff_cap_ms=5.0)
+
+    def test_slow_threshold_above_one(self):
+        with pytest.raises(ConfigError, match="slow_threshold"):
+            FailoverPolicy(slow_threshold=1.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError, match="max_retries"):
+            FailoverPolicy(max_retries=-1)
+
+
+class TestHealthChecker:
+    def test_detection_is_first_probe_after_crash(self):
+        health = HealthChecker(2, FailoverPolicy(detect_interval_s=0.05))
+        assert health.detection_time(0.12) == pytest.approx(0.15)
+        # a crash exactly on a probe tick is noticed at the *next* tick
+        assert health.detection_time(0.10) == pytest.approx(0.15)
+
+    def test_timeline_records_transitions(self):
+        health = HealthChecker(2, FailoverPolicy())
+        health.mark_down(1.0, 0)
+        health.mark_down(1.5, 0)  # idempotent
+        assert health.timeline == [(1.0, 0, "down")]
+        assert health.alive_rids() == [1]
+
+    def test_slow_classification(self):
+        policy = FailoverPolicy(slow_threshold=1.5)
+        health = HealthChecker(1, policy)
+        health.observe_completion(1.0, 0, observed_s=0.2, expected_s=0.1)
+        assert health.is_slow(0)
+        health.observe_completion(2.0, 0, observed_s=0.1, expected_s=0.1)
+        assert health.status(0) == "up"
+
+
+class TestHealthyBaseline:
+    def test_no_faults_no_failures(self):
+        report = engine(replicas=2).run(requests(), 3)
+        s = report.summary
+        assert s["failed"] == 0
+        assert terminated(s) == s["offered"]
+        assert s["failover"]["retries"] == 0
+
+    def test_deterministic(self):
+        def run():
+            return engine(
+                replicas=2,
+                faults=[ReplicaFault("crash", 0, 1.0)],
+            ).run(requests(), 3).to_json()
+
+        assert run() == run()
+
+
+class TestFailStop:
+    def test_crash_terminates_everything(self):
+        report = engine(
+            replicas=2, faults=[ReplicaFault("crash", 0, 1.0)]
+        ).run(requests(), 3)
+        s = report.summary
+        assert terminated(s) == s["offered"]
+        assert set(s["failed_by_reason"]) <= {FAILED_RETRIES, FAILED_NO_REPLICAS}
+
+    def test_crashed_replica_marked_down(self):
+        report = engine(
+            replicas=2, faults=[ReplicaFault("crash", 0, 1.0)]
+        ).run(requests(), 3)
+        detail = {d["rid"]: d for d in report.summary["per_replica"]}
+        assert detail[0]["status"] == "down"
+        assert detail[0]["crashed_ms"] == pytest.approx(1000.0)
+        assert detail[1]["status"] != "down"
+
+    def test_down_transition_at_detection_tick(self):
+        policy = FailoverPolicy(detect_interval_s=0.05)
+        report = engine(
+            replicas=2,
+            faults=[ReplicaFault("crash", 0, 1.02)],
+            failover_policy=policy,
+        ).run(requests(), 3)
+        downs = [
+            e
+            for e in report.summary["failover"]["health_timeline"]
+            if e["status"] == "down"
+        ]
+        assert downs[0]["time_ms"] == pytest.approx(1050.0)
+
+    def test_survivor_serves_the_tail(self):
+        report = engine(
+            replicas=2, faults=[ReplicaFault("crash", 0, 1.0)]
+        ).run(requests(), 3)
+        by_replica = {d["rid"]: d["completed"] for d in report.summary["per_replica"]}
+        # replica 1 keeps completing after the crash; replica 0 stops
+        assert by_replica[1] > by_replica[0]
+
+    def test_zero_retry_budget_fails_lost_batch(self):
+        report = engine(
+            replicas=2,
+            faults=[ReplicaFault("crash", 0, 1.0)],
+            failover_policy=FailoverPolicy(max_retries=0),
+        ).run(requests(), 3)
+        s = report.summary
+        assert terminated(s) == s["offered"]
+        if s["failed"]:
+            assert FAILED_RETRIES in s["failed_by_reason"]
+        assert s["failover"]["retries"] == 0
+
+    def test_all_replicas_dead_drains_to_failed(self):
+        report = engine(
+            replicas=2,
+            faults=[
+                ReplicaFault("crash", 0, 0.5),
+                ReplicaFault("crash", 1, 0.5),
+            ],
+        ).run(requests(rate=50, duration=2), 2)
+        s = report.summary
+        assert terminated(s) == s["offered"]
+        assert s["failed"] > 0
+        assert FAILED_NO_REPLICAS in s["failed_by_reason"]
+        # nothing completes after both crashes are detected
+        assert all(r.finish_s < 1.0 for r in report.metrics.completed)
+
+
+class TestFailSlow:
+    def test_slow_window_stretches_tail_latency(self):
+        slow = engine(
+            replicas=2,
+            routing="least-loaded",
+            faults=[ReplicaFault("slow", 0, 0.5, factor=6.0, duration_s=1.5)],
+        ).run(requests(), 3)
+        healthy = engine(replicas=2, routing="least-loaded").run(requests(), 3)
+        assert (
+            slow.summary["latency_ms"]["p99"]
+            > healthy.summary["latency_ms"]["p99"]
+        )
+        assert slow.summary["failed"] == 0
+
+    def test_slow_replica_flagged_in_timeline(self):
+        report = engine(
+            replicas=2,
+            routing="least-loaded",
+            faults=[ReplicaFault("slow", 0, 0.5, factor=6.0, duration_s=1.0)],
+        ).run(requests(), 3)
+        statuses = {
+            e["status"] for e in report.summary["failover"]["health_timeline"]
+        }
+        assert "slow" in statuses
+
+
+class TestHedging:
+    def _run(self, hedge):
+        return engine(
+            replicas=3,
+            routing="least-loaded",
+            faults=[ReplicaFault("slow", 0, 0.5, factor=8.0, duration_s=2.0)],
+            failover_policy=FailoverPolicy(hedge=hedge),
+        ).run(requests(rate=120, duration=3), 3)
+
+    def test_hedging_fires_and_charges_waste(self):
+        hedged = self._run(True)
+        failover = hedged.summary["failover"]
+        assert failover["hedges"] > 0
+        assert failover["hedge_wasted_ms"] >= 0.0
+
+    def test_hedging_does_not_lose_requests(self):
+        hedged = self._run(True)
+        s = hedged.summary
+        assert terminated(s) == s["offered"]
+        # hedged batches complete once, not twice
+        assert s["completed"] == len({r.rid for r in hedged.metrics.completed})
+
+    def test_hedging_improves_tail_under_gray_failure(self):
+        hedged = self._run(True)
+        unhedged = self._run(False)
+        assert (
+            hedged.summary["latency_ms"]["p95"]
+            <= unhedged.summary["latency_ms"]["p95"]
+        )
+
+
+class TestServiceWindows:
+    def test_window_multiplies_service_time(self):
+        windowed = engine(
+            replicas=2, service_windows=[(0.0, 10.0, 3.0)]
+        ).run(requests(rate=40, duration=2), 2)
+        plain = engine(replicas=2).run(requests(rate=40, duration=2), 2)
+        assert (
+            windowed.summary["latency_ms"]["p50"]
+            > plain.summary["latency_ms"]["p50"]
+        )
+
+    def test_windows_reported_in_summary(self):
+        report = engine(
+            replicas=1, service_windows=[(1.0, 2.0, 2.0)]
+        ).run(requests(rate=20, duration=1), 1)
+        windows = report.summary["failover"]["service_windows"]
+        assert windows == [
+            {"start_ms": 1000.0, "end_ms": 2000.0, "multiplier": 2.0}
+        ]
