@@ -1,0 +1,148 @@
+"""Integrity benchmark: ABFT detection, recovery and checksum overhead.
+
+Runs the seeded single-bit-flip sweep (:mod:`repro.integrity.sweep`)
+over every (layer, scheme path, buffer site) cell, plus the two
+serving-tier SDC chaos scenarios, and reduces both to headline numbers.
+
+Writes ``BENCH_integrity.json``.  The headline asserts the acceptance
+claims and the script exits nonzero if any fails:
+
+1. **detection** — ABFT flags at least 99% of injected single bit flips
+   that actually corrupt the output (flips masked by unused margins or
+   strides are excluded from the denominator);
+2. **zero false positives** — no clean (uninjected) run is ever flagged;
+3. **bit-identical recovery** — every detect-and-recompute restores the
+   golden reference output exactly;
+4. **serving drain** — the ``sdc-storm`` scenario detects every corrupted
+   batch, escapes none, and drains the corrupting replica;
+5. **determinism** — running the sweep twice produces byte-identical
+   rollup JSON.
+
+All numbers are modelled accelerator time: reruns are byte-deterministic.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_integrity.py [--smoke] [--output BENCH_integrity.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from repro.arch.config import CONFIG_16_16
+from repro.integrity import run_sweep, sweep_to_json
+from repro.resilience import build_scenario, run_scenario
+
+SEED = 0
+CHAOS_SEED = 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_integrity.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced layer/flip grid (the CI smoke configuration)",
+    )
+    args = parser.parse_args(argv)
+
+    rollup = run_sweep(seed=SEED, smoke=args.smoke, config=CONFIG_16_16)
+    deterministic = sweep_to_json(rollup) == sweep_to_json(
+        run_sweep(seed=SEED, smoke=args.smoke, config=CONFIG_16_16)
+    )
+    head = rollup["headline"]
+
+    storm = run_scenario(build_scenario("sdc-storm", seed=CHAOS_SEED))
+    integrity = storm["integrity"]
+    drained = (
+        integrity["escaped_batches"] == 0
+        and integrity["corrupted_batches"] > 0
+        and all(storm["invariants"].values())
+    )
+
+    headline = {
+        "detection_rate": head["detection_rate"],
+        "detects_99_percent": head["detection_rate"] >= 0.99,
+        "false_positives": head["false_positives"],
+        "zero_false_positives": head["false_positives"] == 0,
+        "recovery_bit_identical": head["recovery_bit_identical"],
+        "mean_latency_ratio": head["mean_latency_ratio"],
+        "sdc_storm_drains_corrupting_replica": drained,
+        "byte_deterministic": deterministic,
+    }
+
+    payload = {
+        "benchmark": "integrity",
+        "generated_by": "benchmarks/bench_integrity.py",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "config": CONFIG_16_16.name,
+        "seed": SEED,
+        "smoke": args.smoke,
+        "sweep": rollup,
+        "sdc_storm": {
+            "seed": CHAOS_SEED,
+            "integrity": integrity,
+            "invariants": storm["invariants"],
+        },
+        "headline": headline,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"{'site':<12s} {'injected':>8s} {'corrupted':>9s} {'detected':>8s} "
+        f"{'escaped':>7s} {'masked':>6s} {'skipped':>7s}"
+    )
+    for site, t in rollup["sites"].items():
+        print(
+            f"{site:<12s} {t['injections']:>8d} {t['corrupted']:>9d} "
+            f"{t['detected']:>8d} {t['escaped']:>7d} {t['masked']:>6d} "
+            f"{t['skipped']:>7d}"
+        )
+    ratio = head["mean_latency_ratio"]
+    overhead = f"{ratio:.3f}x" if ratio else "n/a"
+    print(
+        f"detection {head['detection_rate']:.1%}, "
+        f"{head['false_positives']} false positives, overhead {overhead}"
+    )
+    ok = True
+    if not headline["detects_99_percent"]:
+        print(
+            f"FAIL: detection rate {head['detection_rate']:.4f} < 0.99",
+            file=sys.stderr,
+        )
+        ok = False
+    if not headline["zero_false_positives"]:
+        print(
+            f"FAIL: {head['false_positives']} clean runs were flagged",
+            file=sys.stderr,
+        )
+        ok = False
+    if not headline["recovery_bit_identical"]:
+        print(
+            "FAIL: a recovered output differed from the golden reference",
+            file=sys.stderr,
+        )
+        ok = False
+    if not drained:
+        print(
+            "FAIL: sdc-storm did not detect/drain the corrupting replica",
+            file=sys.stderr,
+        )
+        ok = False
+    if not deterministic:
+        print("FAIL: sweep rollup is not byte-deterministic", file=sys.stderr)
+        ok = False
+    print(f"written to {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,10 @@ Sub-packages:
 - :mod:`repro.cluster` — multi-accelerator sharding: inter-chip link
   model, layer-pipeline partitioning (optimal DP balancer), batch-sharded
   data parallelism, serving adapter (``docs/sharding.md``)
+- :mod:`repro.resilience` — seeded fault schedules, degraded-geometry
+  replanning, chip-loss repair, chaos scenarios (``docs/resilience.md``)
+- :mod:`repro.integrity` — ABFT-checksummed convolution, silent-data-
+  corruption injection, verified inference (``docs/integrity.md``)
 """
 
 from repro.adaptive import plan_network, select_scheme

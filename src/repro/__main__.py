@@ -17,9 +17,16 @@ shard NETWORK [--chips 4] [--strategy pipeline|data-parallel] ...
     inter-chip link model (see ``docs/sharding.md``).
 chaos [SCENARIO ...] [--seed 1] [--json PATH]
     Run fault-injection scenarios — replica crashes, fail-slow windows,
-    link flaps, PE masks — against the serving tier and report
-    availability, goodput under fault, MTTR and latency ratios
-    (see ``docs/resilience.md``).
+    link flaps, PE masks, silent-data-corruption windows — against the
+    serving tier and report availability, goodput under fault, MTTR and
+    latency ratios (see ``docs/resilience.md``).  Exits non-zero when a
+    scenario's declared invariant is violated.
+integrity [--seed 0] [--flips 4] [--smoke] [--json PATH]
+    Run the ABFT bit-flip injection sweep: detection / false-positive /
+    correction rates per buffer site and scheme path, plus the costed
+    checksum overhead per layer (see ``docs/integrity.md``).  Exits
+    non-zero when detection < 99%, any false positive fires, or
+    recovery is not bit-identical.
 networks
     List the benchmark networks and their Table 2 characteristics.
 
@@ -360,6 +367,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     for name in names:
         scenario = build_scenario(name, seed=args.seed)
         rollups[name] = run_scenario(scenario, config)
+    violations = [
+        (name, inv)
+        for name in names
+        for inv, ok in rollups[name]["invariants"].items()
+        if not ok
+    ]
     payload = rollups[names[0]] if len(names) == 1 else {
         "seed": args.seed,
         "config": config.name,
@@ -367,7 +380,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     }
     if args.json == "-":
         print(rollup_to_json(payload), end="")
-        return 0
+        return 1 if violations else 0
     rows = []
     for name in names:
         r = rollups[name]
@@ -426,10 +439,96 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 f"{len(repair['moved_layers'])} layers moved "
                 f"({repair['rebalance_ms']:.2f} ms of weight traffic)"
             )
+        integrity = rollups[name]["integrity"]
+        if integrity:
+            drained = integrity["drained_replicas"]
+            print(
+                f"\n{name}: {integrity['corrupted_batches']} corrupted "
+                f"batches, {integrity['detected']} detected / "
+                f"{integrity['corrected']} corrected / "
+                f"{integrity['escaped_batches']} escaped, drained "
+                f"{drained if drained else 'none'}"
+            )
+    for name, inv in violations:
+        print(f"\nINVARIANT VIOLATED: {name}: {inv}")
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(rollup_to_json(payload))
         print(f"\nchaos JSON written to {args.json}")
+    return 1 if violations else 0
+
+
+def cmd_integrity(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.integrity import run_sweep, sweep_to_json
+    from repro.resilience.faults import BITFLIP_SITES
+
+    config = named_config(args.config)
+    rollup = run_sweep(
+        seed=args.seed,
+        flips_per_site=args.flips,
+        smoke=args.smoke,
+        config=config,
+    )
+    head = rollup["headline"]
+    ok = (
+        head["false_positives"] == 0
+        and head["detection_rate"] >= 0.99
+        and head["recovery_bit_identical"]
+    )
+    if args.json == "-":
+        print(sweep_to_json(rollup), end="")
+        return 0 if ok else 1
+    rows = []
+    for site in BITFLIP_SITES:
+        t = rollup["sites"][site]
+        rows.append(
+            [
+                site,
+                str(t["injections"]),
+                str(t["corrupted"]),
+                str(t["detected"]),
+                str(t["corrected"]),
+                str(t["escaped"]),
+                str(t["masked"]),
+                str(t["skipped"]),
+            ]
+        )
+    print(
+        f"integrity sweep seed {rollup['seed']} on {rollup['config']}"
+        + (" (smoke)" if rollup["smoke"] else "")
+    )
+    print()
+    print(
+        format_table(
+            [
+                "site",
+                "injected",
+                "corrupted",
+                "detected",
+                "corrected",
+                "escaped",
+                "masked",
+                "skipped",
+            ],
+            rows,
+        )
+    )
+    ratio = head["mean_latency_ratio"]
+    print(
+        f"\ndetection {head['detection_rate']:.1%} of {head['corrupted']} "
+        f"corruptions, {head['false_positives']} false positives in "
+        f"{head['clean_runs']} clean runs, recovery bit-identical: "
+        f"{head['recovery_bit_identical']}"
+        + (f", modeled checksum overhead {ratio:.3f}x" if ratio else "")
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(sweep_to_json(rollup))
+        print(f"\nintegrity JSON written to {args.json}")
+    if not ok:
+        print("\nINTEGRITY GUARD FAILED ACCEPTANCE THRESHOLDS")
+        return 1
     return 0
 
 
@@ -718,6 +817,26 @@ def main(argv=None) -> int:
         help="write the rollup JSON here ('-' = stdout only)",
     )
 
+    p_int = sub.add_parser(
+        "integrity",
+        help="run the ABFT bit-flip injection sweep",
+        parents=[perf_opts],
+    )
+    p_int.add_argument("--seed", type=int, default=0, help="tensor/fault RNG seed")
+    p_int.add_argument(
+        "--flips", type=int, default=4, help="flips per (layer, path, site) cell"
+    )
+    p_int.add_argument(
+        "--smoke", action="store_true", help="reduced sweep for CI smoke runs"
+    )
+    p_int.add_argument("--config", default="16-16")
+    p_int.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the rollup JSON here ('-' = stdout only)",
+    )
+
     p_sim = sub.add_parser(
         "simulate",
         help="compile, lint and machine-execute a network",
@@ -766,6 +885,7 @@ def main(argv=None) -> int:
         "serve": cmd_serve,
         "shard": cmd_shard,
         "chaos": cmd_chaos,
+        "integrity": cmd_integrity,
     }
 
     from repro.perf import schedule_cache, set_default_jobs

@@ -9,7 +9,13 @@ from repro.arch.config import (
 )
 from repro.arch.dram import DEFAULT_DRAM, DramModel
 from repro.arch.energy import EnergyBreakdown, EnergyModel, EnergyTable
-from repro.arch.fixedpoint import Q7_8, FixedPointFormat, dequantize, quantize
+from repro.arch.fixedpoint import (
+    Q7_8,
+    FixedPointFormat,
+    SaturationStats,
+    dequantize,
+    quantize,
+)
 from repro.arch.pe import OperationTally, PEArray
 from repro.arch.presets import PRESETS, preset, preset_names
 
@@ -28,6 +34,7 @@ __all__ = [
     "EnergyTable",
     "Q7_8",
     "FixedPointFormat",
+    "SaturationStats",
     "dequantize",
     "quantize",
     "PRESETS",

@@ -12,13 +12,20 @@ Format: Qm.n two's-complement, default Q7.8 (1 sign bit, 7 integer bits,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.errors import ConfigError
 
-__all__ = ["FixedPointFormat", "Q7_8", "quantize", "dequantize"]
+__all__ = [
+    "FixedPointFormat",
+    "Q7_8",
+    "SaturationStats",
+    "quantize",
+    "dequantize",
+]
 
 
 @dataclass(frozen=True)
@@ -70,14 +77,70 @@ class FixedPointFormat:
 Q7_8 = FixedPointFormat(total_bits=16, frac_bits=8)
 
 
-def quantize(values: np.ndarray, fmt: FixedPointFormat = Q7_8) -> np.ndarray:
+@dataclass
+class SaturationStats:
+    """Counts values the quantizer had to clip — a silent-corruption source.
+
+    Quantization saturates out-of-range values without complaint, which is
+    the correct hardware behaviour but hides a numerics problem from the
+    caller.  Pass an instance to :func:`quantize` to make the clipping
+    visible; accumulate across calls to audit a whole network's operands.
+    """
+
+    total: int = 0
+    saturated_high: int = 0
+    saturated_low: int = 0
+    by_call: list = field(default_factory=list, repr=False)
+
+    @property
+    def saturated(self) -> int:
+        return self.saturated_high + self.saturated_low
+
+    @property
+    def saturation_rate(self) -> float:
+        return self.saturated / self.total if self.total else 0.0
+
+    def update(self, scaled: np.ndarray, fmt: FixedPointFormat) -> None:
+        high = int(np.count_nonzero(scaled > fmt.max_int))
+        low = int(np.count_nonzero(scaled < fmt.min_int))
+        self.total += int(scaled.size)
+        self.saturated_high += high
+        self.saturated_low += low
+        self.by_call.append((int(scaled.size), high, low))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "saturated_high": self.saturated_high,
+            "saturated_low": self.saturated_low,
+            "saturation_rate": round(self.saturation_rate, 6),
+        }
+
+
+def quantize(
+    values: np.ndarray,
+    fmt: FixedPointFormat = Q7_8,
+    stats: Optional[SaturationStats] = None,
+) -> np.ndarray:
     """Quantize real values to fixed-point integer codes (saturating).
 
-    Returns an ``int32`` array of codes (kept wider than the format so the
+    Returns an ``int64`` array of codes (kept wider than the format so the
     caller can accumulate without immediate overflow, as real MAC datapaths
-    keep wide accumulators).
+    keep wide accumulators).  NaN/inf inputs are rejected with a
+    :class:`~repro.errors.ConfigError` — silently clipping them would turn a
+    numerics bug into plausible-looking saturated codes.  Pass a
+    :class:`SaturationStats` to count how many values the clip touched.
     """
-    scaled = np.rint(np.asarray(values, dtype=np.float64) * fmt.scale)
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        bad = int(arr.size - np.count_nonzero(np.isfinite(arr)))
+        raise ConfigError(
+            f"quantize input contains {bad} non-finite value(s) (NaN/inf); "
+            f"refusing to fold them into saturated codes"
+        )
+    scaled = np.rint(arr * fmt.scale)
+    if stats is not None:
+        stats.update(scaled, fmt)
     return np.clip(scaled, fmt.min_int, fmt.max_int).astype(np.int64)
 
 

@@ -5,8 +5,10 @@ stack does when hardware misbehaves, reusing the planning machinery
 instead of inventing new models:
 
 - :mod:`repro.resilience.faults` — seeded, deterministic fault schedules:
-  replica fail-stop/fail-slow, inter-chip link degradation windows, and
-  PE row/column masks;
+  replica fail-stop/fail-slow, inter-chip link degradation windows, PE
+  row/column masks, single-bit-flip families for the functional datapath
+  (realised by :mod:`repro.integrity`), and serving-tier silent-data-
+  corruption windows;
 - :mod:`repro.resilience.degrade` — a PE mask shrinks the effective
   ``Tin x Tout`` array; Algorithm 2 and the planner re-run at the new
   geometry through the schedule cache, reporting scheme flips and the
@@ -30,14 +32,19 @@ from repro.resilience.degrade import (
     replan_degraded,
 )
 from repro.resilience.faults import (
+    BITFLIP_SITES,
+    BitFlipFault,
     FaultSchedule,
     LinkFault,
     PEMask,
     ReplicaFault,
+    SDCFault,
     flapping_link,
+    seeded_bitflips,
 )
 from repro.resilience.repair import RepairPlan, repair_pipeline
 from repro.resilience.scenarios import (
+    INVARIANT_NAMES,
     SCENARIO_NAMES,
     ChaosScenario,
     build_scenario,
@@ -46,14 +53,18 @@ from repro.resilience.scenarios import (
 )
 
 __all__ = [
+    "BITFLIP_SITES",
+    "BitFlipFault",
     "ChaosScenario",
     "DegradeReport",
     "FaultSchedule",
+    "INVARIANT_NAMES",
     "LinkFault",
     "PEMask",
     "RepairPlan",
     "ReplicaFault",
     "SCENARIO_NAMES",
+    "SDCFault",
     "SchemeFlip",
     "build_scenario",
     "degraded_config",
@@ -62,4 +73,5 @@ __all__ = [
     "replan_degraded",
     "rollup_to_json",
     "run_scenario",
+    "seeded_bitflips",
 ]

@@ -11,7 +11,16 @@ deployment into one validated, serializable object:
   periodic train of short windows, see :func:`flapping_link`);
 * **PE mask** — :class:`PEMask`, rows/columns of the PE array fused off,
   from which :mod:`repro.resilience.degrade` derives a degraded
-  :class:`~repro.arch.config.AcceleratorConfig` and re-runs Algorithm 2.
+  :class:`~repro.arch.config.AcceleratorConfig` and re-runs Algorithm 2;
+* **bit flips** — :class:`BitFlipFault`, single-bit silent data corruption
+  in the activation buffer, weight buffer, partial-sum accumulator, or the
+  stored (post-quantization) output, executed against the functional
+  datapath by :class:`repro.integrity.SDCInjector` and guarded by the ABFT
+  checksums of :mod:`repro.integrity.abft`;
+* **serving-tier SDC windows** — :class:`~repro.serve.verified.SDCFault`,
+  a window during which one replica's batches are silently corrupted,
+  consumed by the :class:`~repro.serve.failover.FailoverEngine` when a
+  :class:`~repro.serve.verified.VerificationPolicy` is in force.
 
 Schedules are either written explicitly or drawn from
 :meth:`FaultSchedule.seeded` — a :class:`random.Random` seeded explicitly,
@@ -28,14 +37,111 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.serve.failover import ReplicaFault
+from repro.serve.verified import SDCFault
 
 __all__ = [
     "PEMask",
     "LinkFault",
+    "BitFlipFault",
+    "BITFLIP_SITES",
     "FaultSchedule",
     "flapping_link",
+    "seeded_bitflips",
     "ReplicaFault",
+    "SDCFault",
 ]
+
+#: datapath sites a bit flip can land in (see docs/integrity.md)
+BITFLIP_SITES = ("activation", "weight", "psum", "output")
+
+
+@dataclass(frozen=True)
+class BitFlipFault:
+    """One silent single-bit flip in the functional datapath.
+
+    ``site`` names the storage the flip lands in:
+
+    * ``activation`` — an element of the input tensor in the data buffer;
+    * ``weight`` — an element of the weight tensor in the weight buffer;
+    * ``psum`` — an element of the partial-sum accumulator, struck after
+      accumulation step ``step`` (a sub-kernel piece for the partition
+      path, a kernel element for the improved-inter path);
+    * ``output`` — an element of the stored output, after the final write.
+
+    ``index`` addresses the element (flat, row-major, reduced modulo the
+    target's size at injection time so one fault family works across layer
+    geometries); ``bit`` is the bit position flipped within the stored
+    word.  Execution is performed by :class:`repro.integrity.SDCInjector`.
+    """
+
+    site: str
+    index: int
+    bit: int
+    step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in BITFLIP_SITES:
+            raise ConfigError(
+                f"unknown bit-flip site {self.site!r}; choose from {BITFLIP_SITES}"
+            )
+        for attr in ("index", "bit", "step"):
+            value = getattr(self, attr)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(f"bit-flip {attr} must be an int, got {value!r}")
+            if value < 0:
+                raise ConfigError(f"bit-flip {attr} must be >= 0, got {value!r}")
+        if self.bit > 63:
+            raise ConfigError(f"bit-flip bit must be < 64, got {self.bit!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "index": self.index,
+            "bit": self.bit,
+            "step": self.step,
+        }
+
+
+def seeded_bitflips(
+    seed: int,
+    count: int,
+    sites: Tuple[str, ...] = BITFLIP_SITES,
+    word_bits: int = 16,
+    psum_bits: int = 24,
+    max_index: int = 1 << 20,
+    max_step: int = 16,
+) -> Tuple[BitFlipFault, ...]:
+    """Draw a deterministic family of single-bit flips from one seed.
+
+    Sites are visited round-robin so every requested site gets even
+    coverage; indices/bits/steps come from one :class:`random.Random`
+    stream, so the same seed always produces the identical family.
+    ``psum`` flips may land anywhere in the wide accumulator's low
+    ``psum_bits`` bits; the storage sites stay within ``word_bits``.
+    """
+    if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+        raise ConfigError(f"bit-flip count must be an int >= 0, got {count!r}")
+    if not sites:
+        raise ConfigError("seeded_bitflips needs at least one site")
+    for site in sites:
+        if site not in BITFLIP_SITES:
+            raise ConfigError(
+                f"unknown bit-flip site {site!r}; choose from {BITFLIP_SITES}"
+            )
+    rng = random.Random(seed)
+    flips = []
+    for i in range(count):
+        site = sites[i % len(sites)]
+        bits = psum_bits if site == "psum" else word_bits
+        flips.append(
+            BitFlipFault(
+                site=site,
+                index=rng.randrange(max_index),
+                bit=rng.randrange(bits),
+                step=rng.randrange(max_step),
+            )
+        )
+    return tuple(flips)
 
 
 @dataclass(frozen=True)
@@ -146,6 +252,7 @@ class FaultSchedule:
     replica_faults: Tuple[ReplicaFault, ...] = ()
     link_faults: Tuple[LinkFault, ...] = ()
     pe_mask: Optional[PEMask] = None
+    sdc_faults: Tuple[SDCFault, ...] = ()
     seed: Optional[int] = field(default=None)
 
     def __post_init__(self) -> None:
@@ -162,6 +269,11 @@ class FaultSchedule:
             "link_faults",
             tuple(sorted(self.link_faults, key=lambda f: f.time_s)),
         )
+        object.__setattr__(
+            self,
+            "sdc_faults",
+            tuple(sorted(self.sdc_faults, key=lambda f: (f.time_s, f.replica))),
+        )
 
     @property
     def crashes(self) -> Tuple[ReplicaFault, ...]:
@@ -176,6 +288,7 @@ class FaultSchedule:
         return (
             not self.replica_faults
             and not self.link_faults
+            and not self.sdc_faults
             and (self.pe_mask is None or self.pe_mask.is_noop)
         )
 
@@ -191,6 +304,12 @@ class FaultSchedule:
                     f"fault targets replica {fault.replica} but the "
                     f"deployment has only {n_replicas} replicas"
                 )
+        for sdc in self.sdc_faults:
+            if sdc.replica >= n_replicas:
+                raise ConfigError(
+                    f"SDC fault targets replica {sdc.replica} but the "
+                    f"deployment has only {n_replicas} replicas"
+                )
         if len({f.replica for f in self.crashes}) >= n_replicas:
             # allowed, but the run will end in FAILED_NO_REPLICAS for the
             # tail of the workload — that is a legitimate scenario
@@ -201,6 +320,7 @@ class FaultSchedule:
             "seed": self.seed,
             "replica_faults": [f.to_dict() for f in self.replica_faults],
             "link_faults": [f.to_dict() for f in self.link_faults],
+            "sdc_faults": [f.to_dict() for f in self.sdc_faults],
             "pe_mask": self.pe_mask.to_dict() if self.pe_mask else None,
         }
 

@@ -15,7 +15,19 @@ tier and once under the schedule, both through the
 * **degraded-vs-healthy latency ratios** — p50/p95/p99 under fault over
   healthy;
 * optional **degrade** (PE mask → Algorithm 2 replan) and **repair**
-  (pipeline chip loss → DP rebalance) sections.
+  (pipeline chip loss → DP rebalance) sections;
+* optional **integrity** section when the scenario carries SDC windows or
+  a verification policy: corruption/detection/escape counters, which
+  replicas were drained, and the verified-vs-unverified latency ratio
+  (measured against an extra verified run on the *healthy* tier, so the
+  overhead is isolated from the fault's own damage).
+
+A scenario may also declare **invariants** — named predicates over the
+rollup (``zero-escaped``: no corrupted batch escaped the ABFT check;
+``sdc-drained``: every SDC-targeted replica ended up drained).  They are
+evaluated into ``rollup["invariants"]`` and the ``repro chaos`` CLI exits
+non-zero when any is false, which is what makes the CI smoke job an
+actual regression gate.
 
 Every number is a deterministic function of (scenario, seed): rendering the
 rollup through :func:`repro.serve.metrics.to_json` is byte-stable, and the
@@ -41,14 +53,19 @@ from repro.serve.batcher import BatchCoster, BatchPolicy
 from repro.serve.failover import FailoverEngine, FailoverPolicy
 from repro.serve.metrics import to_json
 from repro.serve.queue import QueuePolicy
+from repro.serve.verified import SDCFault, VerificationPolicy
 from repro.serve.workload import parse_mix, poisson_arrivals
 
 __all__ = [
     "ChaosScenario",
     "run_scenario",
     "build_scenario",
+    "INVARIANT_NAMES",
     "SCENARIO_NAMES",
 ]
+
+#: invariants a scenario may declare; evaluated into ``rollup["invariants"]``
+INVARIANT_NAMES = ("zero-escaped", "sdc-drained")
 
 
 @dataclass(frozen=True)
@@ -73,10 +90,19 @@ class ChaosScenario:
     link: LinkSpec = field(default_factory=LinkSpec)
     #: goodput-series window for the MTTR scan
     window_s: float = 0.25
+    #: per-batch ABFT verification on the faulted tier (None = unguarded)
+    verification: Optional[VerificationPolicy] = None
+    #: named rollup predicates the CLI turns into exit codes
+    invariants: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.replicas <= 0:
             raise ConfigError(f"replicas must be positive, got {self.replicas!r}")
+        for inv in self.invariants:
+            if inv not in INVARIANT_NAMES:
+                raise ConfigError(
+                    f"unknown invariant {inv!r}; choose from {INVARIANT_NAMES}"
+                )
         if self.chips <= 0:
             raise ConfigError(f"chips must be positive, got {self.chips!r}")
         if not self.window_s > 0:
@@ -103,6 +129,10 @@ class ChaosScenario:
             "slo_ms": round(self.slo_ms, 6),
             "max_batch": self.max_batch,
             "window_ms": round(self.window_s * 1e3, 6),
+            "verification": self.verification.describe()
+            if self.verification is not None
+            else None,
+            "invariants": list(self.invariants),
         }
 
 
@@ -247,7 +277,9 @@ def run_scenario(
     batch_policy = BatchPolicy(max_batch=scenario.max_batch)
     queue_policy = QueuePolicy()
 
-    def make_engine(faults, service_windows, engine_coster):
+    def make_engine(
+        faults, service_windows, engine_coster, sdc=(), verification=None
+    ):
         return FailoverEngine(
             config,
             batch_policy=batch_policy,
@@ -258,6 +290,8 @@ def run_scenario(
             failover_policy=scenario.failover_policy,
             service_windows=service_windows,
             coster=engine_coster,
+            sdc_faults=sdc,
+            verification=verification,
         )
 
     healthy_coster = coster or BatchCoster(config)
@@ -280,9 +314,13 @@ def run_scenario(
         faulted_coster = BatchCoster(report.degraded_cfg)
 
     windows = _link_windows(scenario, config)
-    faulted = make_engine(schedule.replica_faults, windows, faulted_coster).run(
-        requests, scenario.duration_s
-    )
+    faulted = make_engine(
+        schedule.replica_faults,
+        windows,
+        faulted_coster,
+        sdc=schedule.sdc_faults,
+        verification=scenario.verification,
+    ).run(requests, scenario.duration_s)
 
     for label, report in (("healthy", healthy), ("faulted", faulted)):
         s = report.summary
@@ -313,6 +351,33 @@ def run_scenario(
     def ratio(a: float, b: float) -> float:
         return round(a / b, 6) if b else 1.0
 
+    integrity_section = None
+    invariant_results: Dict[str, bool] = {}
+    if scenario.verification is not None or schedule.sdc_faults:
+        integrity = dict(f["integrity"])
+        verified_ratio = None
+        if scenario.verification is not None and scenario.verification.enabled:
+            # the check's cost in isolation: the same healthy workload with
+            # only the verification overhead switched on
+            vh = make_engine(
+                (), (), healthy_coster, verification=scenario.verification
+            ).run(requests, scenario.duration_s)
+            vhl = vh.summary["latency_ms"]
+            verified_ratio = {
+                "p50": ratio(vhl["p50"], hl["p50"]),
+                "p95": ratio(vhl["p95"], hl["p95"]),
+                "p99": ratio(vhl["p99"], hl["p99"]),
+            }
+        integrity["verified_latency_ratio"] = verified_ratio
+        integrity_section = integrity
+        targets = sorted({sdc.replica for sdc in schedule.sdc_faults})
+        drained = set(integrity["drained_replicas"])
+        for inv in scenario.invariants:
+            if inv == "zero-escaped":
+                invariant_results[inv] = integrity["escaped_batches"] == 0
+            elif inv == "sdc-drained":
+                invariant_results[inv] = all(r in drained for r in targets)
+
     rollup: Dict[str, object] = {
         "scenario": scenario.meta(),
         "schedule": schedule.to_dict(),
@@ -339,6 +404,8 @@ def run_scenario(
         },
         "degrade": degrade_section,
         "repair": repair_section,
+        "integrity": integrity_section,
+        "invariants": invariant_results,
     }
     return rollup
 
@@ -426,6 +493,45 @@ def _chip_loss(seed: int) -> ChaosScenario:
     )
 
 
+def _sdc_storm(seed: int) -> ChaosScenario:
+    return ChaosScenario(
+        name="sdc-storm",
+        description="replica 1 silently corrupts every batch for 1.2s; "
+        "verified inference detects, recomputes, and drains it",
+        schedule=FaultSchedule(
+            sdc_faults=(
+                SDCFault(
+                    replica=1, time_s=0.8, duration_s=1.2, per_batch=1.0, seed=seed
+                ),
+            ),
+            seed=seed,
+        ),
+        replicas=3,
+        seed=seed,
+        verification=VerificationPolicy(),
+        invariants=("zero-escaped", "sdc-drained"),
+    )
+
+
+def _sdc_silent(seed: int) -> ChaosScenario:
+    return ChaosScenario(
+        name="sdc-silent",
+        description="the same SDC window with verification off: every "
+        "corrupted batch escapes to a tenant (the case for the guard)",
+        schedule=FaultSchedule(
+            sdc_faults=(
+                SDCFault(
+                    replica=1, time_s=0.8, duration_s=1.2, per_batch=1.0, seed=seed
+                ),
+            ),
+            seed=seed,
+        ),
+        replicas=3,
+        seed=seed,
+        verification=VerificationPolicy(enabled=False),
+    )
+
+
 _BUILDERS = {
     "single-crash": _single_crash,
     "fail-slow": _fail_slow,
@@ -433,6 +539,8 @@ _BUILDERS = {
     "cascade": _cascade,
     "pe-mask": _pe_mask,
     "chip-loss": _chip_loss,
+    "sdc-storm": _sdc_storm,
+    "sdc-silent": _sdc_silent,
 }
 
 SCENARIO_NAMES = tuple(sorted(_BUILDERS))

@@ -3,6 +3,7 @@
 from typing import Dict, List
 
 from repro.errors import ConfigError
+from repro.schemes.abft import AbftOverhead, abft_overhead
 from repro.schemes.base import (
     GroupGeometry,
     ScheduleResult,
@@ -18,6 +19,8 @@ from repro.schemes.partition import KernelPartitionScheme
 from repro.schemes.pe2d import Pe2dScheme
 
 __all__ = [
+    "AbftOverhead",
+    "abft_overhead",
     "GroupGeometry",
     "ScheduleResult",
     "Scheme",

@@ -1,0 +1,124 @@
+"""Cycle/access cost of the ABFT guard, charged through the scheme models.
+
+The checksum passes of :mod:`repro.integrity.abft` are not free: the
+input is column- and row-reduced (adds), every reduced vector is dotted
+with every kernel (MACs on the same array that runs the convolution),
+and the computed output is read back once to take its sums.  This module
+prices that work against a base :class:`~repro.schemes.base.
+ScheduleResult`, so planners and the serving tier can quote a
+*verified* latency instead of hand-waving a percentage:
+
+* reduction adds:  ``2 * groups * d * H * W`` (one row pass, one column
+  pass over the padded input);
+* checksum MACs:   ``groups * dout_g * d * k^2 * (oy + ox)`` (one
+  ``d*k^2`` dot product per predicted row/column sum);
+* comparison ops:  ``dout * (oy + ox + 1)`` readback sums and equality
+  checks, plus ``dout * oy * ox`` output-buffer reload words.
+
+All of it retires on the same one-op-per-cycle array as the base
+schedule (Table 3), so the verified cycle count is simply the base plus
+the checksum work divided across the multipliers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.config import AcceleratorConfig
+from repro.nn.network import LayerContext
+from repro.schemes.base import ScheduleResult, group_geometry
+
+__all__ = ["AbftOverhead", "abft_overhead"]
+
+
+@dataclass(frozen=True)
+class AbftOverhead:
+    """The priced ABFT guard for one layer on one base schedule."""
+
+    layer_name: str
+    base_scheme: str
+    #: adds spent reducing the input to row/column vectors
+    reduce_adds: int
+    #: dot-product MACs spent predicting the checksums
+    checksum_macs: int
+    #: readback sums + equality comparisons on the computed output
+    compare_ops: int
+    #: extra buffer words moved (input re-read, weight re-read, output readback)
+    extra_words: int
+    #: array cycles the guard work costs
+    checksum_cycles: float
+    #: base wall-clock cycles (unverified)
+    base_cycles: float
+    #: wall-clock cycles with the guard folded in
+    verified_cycles: float
+    #: the base schedule's useful MACs (denominator of :attr:`mac_overhead`)
+    base_macs: int = 0
+
+    @property
+    def latency_ratio(self) -> float:
+        """Verified / unverified wall-clock — the figure serving quotes."""
+        if self.base_cycles == 0:
+            return 1.0
+        return self.verified_cycles / self.base_cycles
+
+    @property
+    def mac_overhead(self) -> float:
+        """Guard MACs as a fraction of the layer's useful MACs."""
+        return self.checksum_macs / max(1, self.base_macs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "layer": self.layer_name,
+            "base_scheme": self.base_scheme,
+            "reduce_adds": self.reduce_adds,
+            "checksum_macs": self.checksum_macs,
+            "compare_ops": self.compare_ops,
+            "extra_words": self.extra_words,
+            "checksum_cycles": round(self.checksum_cycles, 6),
+            "base_cycles": round(self.base_cycles, 6),
+            "verified_cycles": round(self.verified_cycles, 6),
+            "latency_ratio": round(self.latency_ratio, 6),
+        }
+
+
+def abft_overhead(
+    ctx: LayerContext, config: AcceleratorConfig, base: ScheduleResult
+) -> AbftOverhead:
+    """Price the ABFT guard for ``ctx`` on top of the ``base`` schedule."""
+    geom = group_geometry(ctx)
+    h = ctx.in_shape.height + 2 * ctx.layer.pad
+    w = ctx.in_shape.width + 2 * ctx.layer.pad
+    dout = geom.groups * geom.dout_g
+    # one row pass + one column pass over the (padded) input, all groups
+    reduce_adds = 2 * geom.groups * geom.d * h * w
+    # one d*k*k dot product per predicted row sum and per column sum
+    checksum_macs = geom.groups * geom.dout_g * geom.d * geom.k * geom.k * (
+        geom.oy + geom.ox
+    )
+    # readback sums over the computed output plus the equality comparisons
+    compare_ops = dout * (geom.oy + geom.ox + 1) + dout * geom.out_pixels
+    # words moved beyond the base schedule: the input is re-read for the
+    # reductions, the weights re-read for the checksum dots, and the
+    # output read back once for the comparison sums
+    extra_words = (
+        geom.groups * geom.d * h * w
+        + dout * geom.d * geom.k * geom.k
+        + dout * geom.out_pixels
+    )
+    work = reduce_adds + checksum_macs + compare_ops
+    checksum_cycles = float(math.ceil(work / config.multipliers))
+    base_cycles = float(base.total_cycles)
+    return AbftOverhead(
+        layer_name=ctx.name,
+        base_scheme=base.scheme,
+        reduce_adds=reduce_adds,
+        checksum_macs=checksum_macs,
+        compare_ops=compare_ops,
+        extra_words=extra_words,
+        checksum_cycles=checksum_cycles,
+        base_cycles=base_cycles,
+        verified_cycles=base_cycles + checksum_cycles,
+        base_macs=base.useful_macs,
+    )

@@ -22,7 +22,12 @@ existing planning machinery:
 - :mod:`repro.serve.failover` — the fault-aware tier: replica fail-stop /
   fail-slow injection, health checking, retry with capped exponential
   backoff, hedging, and drain-to-survivors (driven by
-  :mod:`repro.resilience`).
+  :mod:`repro.resilience`);
+- :mod:`repro.serve.verified` — verified inference: per-batch ABFT checks
+  (:class:`~repro.serve.verified.VerificationPolicy`), silent-data-
+  corruption windows (:class:`~repro.serve.verified.SDCFault`), and
+  per-replica detected/corrected/escaped bookkeeping
+  (:class:`~repro.serve.verified.VerifiedReplica`).
 
 See ``docs/serving.md`` for the queueing model and the metrics glossary.
 """
@@ -45,6 +50,7 @@ from repro.serve.metrics import (
     to_json,
 )
 from repro.serve.queue import AdmissionQueue, QueuePolicy, ShedEvent, QUEUE_ORDERS
+from repro.serve.verified import SDCFault, VerificationPolicy, VerifiedReplica
 from repro.serve.workload import (
     ARRIVAL_KINDS,
     Request,
@@ -73,10 +79,13 @@ __all__ = [
     "ReplicaState",
     "Request",
     "RequestRecord",
+    "SDCFault",
     "ServingEngine",
     "ServingReport",
     "ShedEvent",
     "TenantSpec",
+    "VerificationPolicy",
+    "VerifiedReplica",
     "bursty_arrivals",
     "parse_mix",
     "percentile",

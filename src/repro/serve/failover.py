@@ -30,6 +30,16 @@ Recovery semantics:
   replica; the first finisher wins and the loser's occupancy is charged
   as ``hedge_wasted``.
 
+The *silent* fault the health checker cannot see — a replica corrupting
+results while completing on time — is modeled on top of the same loop:
+:class:`~repro.serve.verified.SDCFault` windows corrupt dispatched
+batches, a :class:`~repro.serve.verified.VerificationPolicy` runs the
+ABFT check of :mod:`repro.integrity` on every batch (paying its modeled
+latency overhead), detections recompute in place (the batch completes
+late but correct), and a replica that trips the drain threshold is
+marked ``slow`` *sticky* — quarantined, so completions can't flip it
+back — which drains it through routing exactly like a fail-slow one.
+
 All of it is driven by simulated time only, so a run is a deterministic
 function of (workload, faults, policies) — the chaos scenarios in
 :mod:`repro.resilience.scenarios` rely on that to emit byte-stable JSON.
@@ -38,8 +48,9 @@ function of (workload, faults, policies) — the chaos scenarios in
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.config import AcceleratorConfig
 from repro.errors import ConfigError
@@ -48,6 +59,7 @@ from repro.serve.batcher import BatchCoster, BatchPolicy
 from repro.serve.engine import ServingReport, ROUTING_KINDS
 from repro.serve.metrics import MetricsCollector, RequestRecord
 from repro.serve.queue import AdmissionQueue, QueuePolicy
+from repro.serve.verified import SDCFault, VerificationPolicy, VerifiedReplica
 from repro.serve.workload import Request
 
 __all__ = [
@@ -213,6 +225,8 @@ class HealthChecker:
     def __init__(self, n_replicas: int, policy: FailoverPolicy) -> None:
         self.policy = policy
         self._status: Dict[int, str] = {rid: "up" for rid in range(n_replicas)}
+        #: replicas slow-marked sticky (SDC drain): completions can't revive
+        self._quarantined: Set[int] = set()
         #: (time_s, rid, new status) transitions, in occurrence order
         self.timeline: List[Tuple[float, int, str]] = []
 
@@ -242,11 +256,25 @@ class HealthChecker:
     def mark_down(self, t: float, rid: int) -> None:
         self._transition(t, rid, "down")
 
+    def mark_slow(self, t: float, rid: int, sticky: bool = False) -> None:
+        """Force a slow mark; ``sticky`` quarantines the replica.
+
+        A quarantined replica stays ``slow`` no matter how fast its later
+        completions look — the drain path for repeated SDC detections,
+        where the replica's *timing* is fine but its silicon is not to be
+        trusted.
+        """
+        if self._status[rid] == "down":
+            return
+        if sticky:
+            self._quarantined.add(rid)
+        self._transition(t, rid, "slow")
+
     def observe_completion(
         self, t: float, rid: int, observed_s: float, expected_s: float
     ) -> None:
         """Classify a replica from one completed batch's service time."""
-        if self._status[rid] == "down":
+        if self._status[rid] == "down" or rid in self._quarantined:
             return
         if expected_s > 0 and observed_s >= self.policy.slow_threshold * expected_s:
             self._transition(t, rid, "slow")
@@ -310,6 +338,12 @@ class _BatchJob:
     dispatched_at: float
     expected_s: float
     done: bool = field(default=False)
+    #: silently corrupted by the SDC window of replica ``sdc_rid``; the
+    #: corruption only materializes if that replica's run wins
+    corrupted: bool = False
+    #: the ABFT check will flag the corruption on completion
+    sdc_detected: bool = False
+    sdc_rid: int = -1
 
 
 class FailoverEngine:
@@ -335,6 +369,8 @@ class FailoverEngine:
         faults: Sequence[ReplicaFault] = (),
         failover_policy: FailoverPolicy = FailoverPolicy(),
         service_windows: Sequence[Tuple[float, float, float]] = (),
+        sdc_faults: Sequence[SDCFault] = (),
+        verification: Optional[VerificationPolicy] = None,
     ) -> None:
         if isinstance(replicas, bool) or not isinstance(replicas, int):
             raise ConfigError(
@@ -351,6 +387,12 @@ class FailoverEngine:
             if fault.replica >= replicas:
                 raise ConfigError(
                     f"fault targets replica {fault.replica} but the tier "
+                    f"has only {replicas} replicas"
+                )
+        for sdc in sdc_faults:
+            if sdc.replica >= replicas:
+                raise ConfigError(
+                    f"SDC fault targets replica {sdc.replica} but the tier "
                     f"has only {replicas} replicas"
                 )
         for start, end, mult in service_windows:
@@ -375,6 +417,10 @@ class FailoverEngine:
         self.service_windows = tuple(
             sorted((float(s), float(e), float(m)) for s, e, m in service_windows)
         )
+        self.sdc_faults = tuple(
+            sorted(sdc_faults, key=lambda f: (f.time_s, f.replica))
+        )
+        self.verification = verification
 
     # -- helpers -----------------------------------------------------------
 
@@ -454,6 +500,15 @@ class FailoverEngine:
         hedges = 0
         hedge_wasted_s = 0.0
         rr_last = -1
+        ver = self.verification
+        checking = ver is not None and ver.enabled
+        vreps = [VerifiedReplica(rid) for rid in range(self.n_replicas)]
+        # one seeded stream per SDC window, consumed in dispatch order —
+        # corruption and detection rolls are deterministic by construction
+        sdc_rngs = [
+            random.Random(fault.seed + 7919 * idx)
+            for idx, fault in enumerate(self.sdc_faults)
+        ]
 
         def fail(request: Request, reason: str) -> None:
             metrics.record_failure(request.tenant, reason)
@@ -537,6 +592,26 @@ class FailoverEngine:
                 job.done = True
                 s.completed += len(job.requests)
                 health.observe_completion(s.free_at, s.rid, service, job.expected_s)
+                vrep = vreps[s.rid]
+                if checking:
+                    vrep.checked_batches += 1
+                if job.corrupted and job.sdc_rid == s.rid:
+                    # the corrupting replica's run won; the check (if any)
+                    # already shaped this batch's service time at dispatch
+                    vrep.corrupted_batches += 1
+                    if job.sdc_detected:
+                        vrep.detected += 1
+                        vrep.corrected += 1
+                        if (
+                            ver is not None
+                            and vrep.detected >= ver.drain_threshold
+                            and not vrep.drained
+                        ):
+                            vrep.drained_at = s.free_at
+                            health.mark_slow(s.free_at, s.rid, sticky=True)
+                    else:
+                        vrep.escaped_batches += 1
+                        vrep.escaped_requests += len(job.requests)
                 metrics.record_batch(len(job.requests))
                 for request in job.requests:
                     metrics.record_completion(
@@ -600,12 +675,28 @@ class FailoverEngine:
                     continue
                 expected = self.coster.batch_seconds(network, len(batch))
                 expected *= self._window_multiplier(t)
+                if checking:
+                    # every batch pays the ABFT checksum passes
+                    expected *= ver.latency_overhead
                 job = _BatchJob(
                     requests=batch,
                     network=network,
                     dispatched_at=t,
                     expected_s=expected,
                 )
+                # SDC windows corrupt at dispatch; detection is decided
+                # here too so hedging/crash races can't skew the streams
+                for idx, sdc in enumerate(self.sdc_faults):
+                    if sdc.replica != replica.rid or not sdc.active_at(t):
+                        continue
+                    if sdc_rngs[idx].random() < sdc.per_batch:
+                        job.corrupted = True
+                        job.sdc_rid = replica.rid
+                        if checking:
+                            job.sdc_detected = (
+                                ver.detection_rate >= 1.0
+                                or sdc_rngs[idx].random() < ver.detection_rate
+                            )
                 rr_last = replica.rid
                 if replica.crashed_by(t):
                     # a doomed dispatch into the detection window: the
@@ -614,6 +705,10 @@ class FailoverEngine:
                     replica.free_at = math.inf
                     continue
                 service = expected * replica.service_multiplier(t)
+                if job.corrupted and job.sdc_detected:
+                    # detect-and-recompute: only the flagged partial maps
+                    # re-execute, so the surcharge is a fraction, not 2x
+                    service *= 1.0 + ver.recompute_overhead
                 replica.inflight = job
                 replica.free_at = t + service
                 replica.busy_s += service
@@ -667,6 +762,24 @@ class FailoverEngine:
                 for s, e, m in self.service_windows
             ],
         }
+        if ver is not None or self.sdc_faults:
+            corrupted = sum(v.corrupted_batches for v in vreps)
+            detected = sum(v.detected for v in vreps)
+            summary["integrity"] = {
+                "policy": ver.to_dict() if ver is not None else None,
+                "sdc_faults": [f.to_dict() for f in self.sdc_faults],
+                "checked_batches": sum(v.checked_batches for v in vreps),
+                "corrupted_batches": corrupted,
+                "detected": detected,
+                "corrected": sum(v.corrected for v in vreps),
+                "escaped_batches": sum(v.escaped_batches for v in vreps),
+                "escaped_requests": sum(v.escaped_requests for v in vreps),
+                "detection_rate": round(detected / corrupted, 6)
+                if corrupted
+                else None,
+                "drained_replicas": [v.rid for v in vreps if v.drained],
+                "per_replica": [v.detail() for v in vreps],
+            }
         summary["engine"] = {
             "config": self.config.name,
             "plan_policy": self.plan_policy,

@@ -1,0 +1,205 @@
+"""Verified inference: per-batch ABFT checks on the serving tier.
+
+:mod:`repro.integrity.abft` proves the checksum scheme detects and corrects
+single bit flips on the *functional* datapath; this module lifts that
+guarantee to the *serving* tier, where corruption manifests as batches of
+user-visible wrong answers:
+
+* :class:`SDCFault` — a window during which one replica silently corrupts
+  a fraction of its batches (a marginal voltage rail, a flaky HBM stack —
+  the gray-failure analogue of fail-slow, but for *correctness*);
+* :class:`VerificationPolicy` — whether replicas run the ABFT check on
+  every batch, the latency overhead of doing so (from the
+  :func:`repro.schemes.abft.abft_overhead` cost model), the measured
+  detection rate, the detect-and-recompute surcharge, and how many
+  detections drain a replica;
+* :class:`VerifiedReplica` — per-replica corruption bookkeeping: batches
+  checked, corruptions detected/corrected/escaped, and when the replica
+  was drained.
+
+The :class:`~repro.serve.failover.FailoverEngine` consumes all three: a
+detected corruption is recomputed on the spot (the batch completes late
+but *correct*), repeated detections mark the replica ``slow`` — sticky, so
+the health checker does not flip it back to ``up`` — and the router drains
+it exactly like a fail-slow replica.  With verification disabled every
+corrupted batch escapes, which is the contrast the ``sdc-silent`` chaos
+scenario exists to show.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["SDCFault", "VerificationPolicy", "VerifiedReplica"]
+
+
+@dataclass(frozen=True)
+class SDCFault:
+    """One silent-data-corruption window on one replica.
+
+    During ``[time_s, time_s + duration_s)`` each batch dispatched to
+    ``replica`` is corrupted with probability ``per_batch``, drawn from a
+    :class:`random.Random` stream derived from ``seed`` — deterministic in
+    dispatch order, so runs are byte-reproducible.
+    """
+
+    replica: int
+    time_s: float
+    duration_s: float
+    per_batch: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.replica, bool) or not isinstance(self.replica, int):
+            raise ConfigError(
+                f"SDC fault replica must be an int, got {self.replica!r}"
+            )
+        if self.replica < 0:
+            raise ConfigError(
+                f"SDC fault replica must be >= 0, got {self.replica!r}"
+            )
+        if math.isnan(self.time_s) or self.time_s < 0:
+            raise ConfigError(f"SDC fault time must be >= 0, got {self.time_s!r}")
+        if (
+            math.isnan(self.duration_s)
+            or self.duration_s <= 0
+            or math.isinf(self.duration_s)
+        ):
+            raise ConfigError(
+                f"SDC fault duration must be positive and finite, "
+                f"got {self.duration_s!r}"
+            )
+        if math.isnan(self.per_batch) or not 0 < self.per_batch <= 1:
+            raise ConfigError(
+                f"SDC per-batch probability must be in (0, 1], "
+                f"got {self.per_batch!r}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ConfigError(f"SDC fault seed must be an int, got {self.seed!r}")
+
+    @property
+    def end_s(self) -> float:
+        return self.time_s + self.duration_s
+
+    def active_at(self, t: float) -> bool:
+        return self.time_s <= t < self.end_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "replica": self.replica,
+            "time_ms": round(self.time_s * 1e3, 6),
+            "duration_ms": round(self.duration_s * 1e3, 6),
+            "per_batch": round(self.per_batch, 6),
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class VerificationPolicy:
+    """The verified-inference knobs of a serving tier."""
+
+    #: run the ABFT check on every batch (False models an unguarded tier
+    #: that still *experiences* SDC windows — everything escapes)
+    enabled: bool = True
+    #: service-time multiplier of the checksum passes (>= 1, from the
+    #: scheme-level overhead model — see ``repro integrity``)
+    latency_overhead: float = 1.08
+    #: fraction of corruptions the check catches (the benchmark sweep
+    #: measures 1.0 for single bit flips; < 1 models multi-bit escapes)
+    detection_rate: float = 1.0
+    #: extra service fraction when a detection triggers recompute of the
+    #: flagged partial maps (cheap: only flagged sub-kernels re-execute)
+    recompute_overhead: float = 0.15
+    #: detections on one replica before it is drained like a fail-slow one
+    drain_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise ConfigError(f"enabled must be a bool, got {self.enabled!r}")
+        if (
+            math.isnan(self.latency_overhead)
+            or math.isinf(self.latency_overhead)
+            or self.latency_overhead < 1
+        ):
+            raise ConfigError(
+                f"latency_overhead must be finite and >= 1, "
+                f"got {self.latency_overhead!r}"
+            )
+        if math.isnan(self.detection_rate) or not 0 <= self.detection_rate <= 1:
+            raise ConfigError(
+                f"detection_rate must be in [0, 1], got {self.detection_rate!r}"
+            )
+        if (
+            math.isnan(self.recompute_overhead)
+            or math.isinf(self.recompute_overhead)
+            or self.recompute_overhead < 0
+        ):
+            raise ConfigError(
+                f"recompute_overhead must be finite and >= 0, "
+                f"got {self.recompute_overhead!r}"
+            )
+        if isinstance(self.drain_threshold, bool) or not isinstance(
+            self.drain_threshold, int
+        ):
+            raise ConfigError(
+                f"drain_threshold must be an int, got {self.drain_threshold!r}"
+            )
+        if self.drain_threshold < 1:
+            raise ConfigError(
+                f"drain_threshold must be >= 1, got {self.drain_threshold!r}"
+            )
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "verification(off)"
+        return (
+            f"verification(overhead={self.latency_overhead:g}x, "
+            f"detect={self.detection_rate:g}, "
+            f"recompute=+{self.recompute_overhead:g}, "
+            f"drain@{self.drain_threshold})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "latency_overhead": round(self.latency_overhead, 6),
+            "detection_rate": round(self.detection_rate, 6),
+            "recompute_overhead": round(self.recompute_overhead, 6),
+            "drain_threshold": self.drain_threshold,
+        }
+
+
+@dataclass
+class VerifiedReplica:
+    """One replica's ABFT bookkeeping: checks run, corruptions, drain state."""
+
+    rid: int
+    checked_batches: int = 0
+    corrupted_batches: int = 0
+    detected: int = 0
+    corrected: int = 0
+    escaped_batches: int = 0
+    escaped_requests: int = 0
+    drained_at: Optional[float] = None
+
+    @property
+    def drained(self) -> bool:
+        return self.drained_at is not None
+
+    def detail(self) -> Dict[str, object]:
+        return {
+            "rid": self.rid,
+            "checked_batches": self.checked_batches,
+            "corrupted_batches": self.corrupted_batches,
+            "detected": self.detected,
+            "corrected": self.corrected,
+            "escaped_batches": self.escaped_batches,
+            "escaped_requests": self.escaped_requests,
+            "drained_ms": round(self.drained_at * 1e3, 6)
+            if self.drained_at is not None
+            else None,
+        }

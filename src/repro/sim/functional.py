@@ -10,13 +10,29 @@ partitioned order (Algorithm 1), the improved inter-kernel partial-sum order
 All functions take planar ``(Din, H, W)`` activations and
 ``(Dout, Din/groups, k, k)`` weights, mirroring
 :class:`~repro.nn.layers.ConvLayer`.
+
+Every scheme path (but *not* :func:`reference_conv`, which stays golden)
+accepts an optional ``inject`` hook object — duck-typed to
+:class:`repro.integrity.sdc.SDCInjector` — with four call sites:
+
+* ``on_activation(data)`` / ``on_weight(weights)`` — called once on the
+  raw (pre-padding) operands; return a possibly-corrupted copy;
+* ``on_psum(acc, step, steps_total)`` — called after each partial-sum
+  accumulation step with the live accumulator (corrupted in place);
+* ``on_output(out)`` — called on the final output array after bias.
+
+Hooks let the integrity layer flip single bits at the exact buffer the
+fault model names without the numerics code knowing anything about faults.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.integrity.sdc import SDCInjector
 
 from repro.errors import ShapeError
 from repro.nn.layers import ConvLayer, TensorShape, conv_output_hw
@@ -103,9 +119,13 @@ def conv_via_im2col(
     stride: int = 1,
     pad: int = 0,
     groups: int = 1,
+    inject: Optional["SDCInjector"] = None,
 ) -> np.ndarray:
     """Convolution executed as the intra-kernel unrolling scheme: im2col + GEMM."""
     _check_conv_args(data, weights, stride, pad, groups)
+    if inject is not None:
+        data = inject.on_activation(data)
+        weights = inject.on_weight(weights)
     dout = weights.shape[0]
     k = weights.shape[-1]
     din = data.shape[0]
@@ -119,9 +139,13 @@ def conv_via_im2col(
         cols = im2col(dslice, k, stride, pad)  # (oh*ow, din_g*k*k)
         wmat = weights[g * dout_g : (g + 1) * dout_g].reshape(dout_g, -1)
         prod = cols @ wmat.T  # (oh*ow, dout_g)
+        if inject is not None:
+            inject.on_psum(prod, g, groups)
         out[g * dout_g : (g + 1) * dout_g] = prod.T.reshape(dout_g, oh, ow)
     if bias is not None:
         out += bias[:, None, None]
+    if inject is not None:
+        inject.on_output(out)
     return out
 
 
@@ -174,6 +198,7 @@ def conv_via_partition(
     stride: int = 1,
     pad: int = 0,
     groups: int = 1,
+    inject: Optional["SDCInjector"] = None,
 ) -> np.ndarray:
     """Convolution executed by Algorithm 1 (kernel partitioning).
 
@@ -181,15 +206,23 @@ def conv_via_partition(
     later piece's MAC results are added onto the running sum (lines 7-8).
     Layers with ``stride >= kernel`` cannot be partitioned (windows already
     do not overlap); they execute in the plain sliding-window order, the
-    same fallback the planner applies.
+    same fallback the planner applies (psum injection hooks do not fire on
+    the fallback — there is no multi-piece accumulator to corrupt).
     """
     _check_conv_args(data, weights, stride, pad, groups)
+    if inject is not None:
+        data = inject.on_activation(data)
+        weights = inject.on_weight(weights)
     if stride >= weights.shape[-1]:
-        return reference_conv(data, weights, bias, stride, pad, groups)
+        out = reference_conv(data, weights, bias, stride, pad, groups)
+        if inject is not None:
+            inject.on_output(out)
+        return out
     din = data.shape[0]
     dout = weights.shape[0]
     din_g = din // groups
     dout_g = dout // groups
+    pieces = partition_geometry(weights.shape[-1], stride).pieces
     pieces_out = []
     for g in range(groups):
         dslice = data[g * din_g : (g + 1) * din_g]
@@ -197,12 +230,18 @@ def conv_via_partition(
         partials = partition_partial_maps(dslice, wslice, stride, pad)
         # Algorithm 1: accumulate r_{i/G} onto r_{(i-1)/G} in the output buffer
         acc = partials[0].copy()
+        if inject is not None:
+            inject.on_psum(acc, g * pieces, groups * pieces)
         for piece in range(1, partials.shape[0]):
             acc += partials[piece]
+            if inject is not None:
+                inject.on_psum(acc, g * pieces + piece, groups * pieces)
         pieces_out.append(acc)
     out = np.concatenate(pieces_out, axis=0)
     if bias is not None:
         out += bias[:, None, None]
+    if inject is not None:
+        inject.on_output(out)
     return out
 
 
@@ -213,6 +252,7 @@ def conv_via_inter_improved(
     stride: int = 1,
     pad: int = 0,
     groups: int = 1,
+    inject: Optional["SDCInjector"] = None,
 ) -> np.ndarray:
     """Convolution in the improved inter-kernel order (Sec 4.2.2).
 
@@ -221,6 +261,9 @@ def conv_via_inter_improved(
     onto the output buffer before the next element is visited.
     """
     _check_conv_args(data, weights, stride, pad, groups)
+    if inject is not None:
+        data = inject.on_activation(data)
+        weights = inject.on_weight(weights)
     din = data.shape[0]
     dout = weights.shape[0]
     k = weights.shape[-1]
@@ -230,6 +273,7 @@ def conv_via_inter_improved(
     oh = conv_output_hw(padded.shape[1], k, stride, 0)
     ow = conv_output_hw(padded.shape[2], k, stride, 0)
     out = np.zeros((dout, oh, ow), dtype=np.result_type(data, weights))
+    steps_total = k * k * groups
     for u in range(k):
         for v in range(k):
             # strided view of the input pixels this kernel element touches
@@ -245,8 +289,16 @@ def conv_via_inter_improved(
                 out[g * dout_g : (g + 1) * dout_g] += np.einsum(
                     "dhw,od->ohw", dslice, wvec
                 )
+                if inject is not None:
+                    inject.on_psum(
+                        out[g * dout_g : (g + 1) * dout_g],
+                        (u * k + v) * groups + g,
+                        steps_total,
+                    )
     if bias is not None:
         out += bias[:, None, None]
+    if inject is not None:
+        inject.on_output(out)
     return out
 
 
@@ -255,9 +307,20 @@ def random_conv_tensors(
     in_shape: TensorShape,
     seed: int = 0,
     scale: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
 ):
-    """Deterministic random (data, weights, bias) for a conv layer."""
-    rng = np.random.default_rng(seed)
+    """Deterministic random (data, weights, bias) for a conv layer.
+
+    Dtype guarantee: all three tensors are ``float64`` standard normals
+    scaled by ``scale`` (``bias`` is ``None`` when the layer has none).
+    Determinism: tensors depend only on ``seed`` (an explicit ``rng``
+    overrides it) — global numpy seeding is never consulted, so integrity
+    tests can reproduce operands from the seed alone.  Passing a shared
+    ``rng`` draws from that generator's stream instead, letting callers
+    derive many layers' tensors from one seeded source.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
     data = rng.standard_normal(in_shape.as_tuple()) * scale
     weights = rng.standard_normal(
         (layer.out_maps, layer.in_maps // layer.groups, layer.kernel, layer.kernel)

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.arch.fixedpoint import Q7_8, FixedPointFormat, dequantize, quantize
+from repro.arch.fixedpoint import (
+    Q7_8,
+    FixedPointFormat,
+    SaturationStats,
+    dequantize,
+    quantize,
+)
 from repro.errors import ConfigError
 
 
@@ -47,6 +53,11 @@ class TestQuantize:
         back = dequantize(quantize(np.array([x])))[0]
         assert abs(back - x) <= Q7_8.resolution / 2 + 1e-12
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_input_rejected(self, bad):
+        with pytest.raises(ConfigError, match="non-finite"):
+            quantize(np.array([0.0, bad, 1.0]))
+
     def test_fixed_point_conv_matches_float_within_tolerance(self):
         """16-bit is 'good enough' (Table 3, with reference to DianNao)."""
         from repro.sim.functional import reference_conv
@@ -60,3 +71,42 @@ class TestQuantize:
         quant = reference_conv(qd, qw, None, 1, 0)
         # error grows with the 27-term reduction but stays small
         assert np.abs(quant - ref).max() < 27 * Q7_8.resolution
+
+
+class TestSaturationStats:
+    def test_counts_clipped_values_by_direction(self):
+        stats = SaturationStats()
+        quantize(np.array([0.0, 500.0, -500.0, 1.0]), stats=stats)
+        assert stats.total == 4
+        assert stats.saturated_high == 1
+        assert stats.saturated_low == 1
+        assert stats.saturated == 2
+        assert stats.saturation_rate == 0.5
+
+    def test_accumulates_across_calls(self):
+        stats = SaturationStats()
+        quantize(np.array([500.0]), stats=stats)
+        quantize(np.array([1.0, 2.0]), stats=stats)
+        assert stats.total == 3
+        assert stats.saturated == 1
+        assert len(stats.by_call) == 2
+
+    def test_clean_input_counts_nothing(self):
+        stats = SaturationStats()
+        quantize(np.linspace(-100, 100, 50), stats=stats)
+        assert stats.saturated == 0
+        assert stats.saturation_rate == 0.0
+
+    def test_to_dict(self):
+        stats = SaturationStats()
+        quantize(np.array([500.0, 0.0]), stats=stats)
+        assert stats.to_dict() == {
+            "total": 2,
+            "saturated_high": 1,
+            "saturated_low": 0,
+            "saturation_rate": 0.5,
+        }
+
+    def test_codes_unchanged_by_stats(self):
+        vals = np.array([0.25, 500.0, -3.5])
+        assert np.array_equal(quantize(vals), quantize(vals, stats=SaturationStats()))

@@ -1,0 +1,35 @@
+"""`python -m repro integrity` CLI tests."""
+
+import json
+
+from repro.__main__ import main
+
+
+class TestIntegrityCommand:
+    def test_smoke_table(self, capsys):
+        assert main(["integrity", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        for site in ("activation", "weight", "psum", "output"):
+            assert site in out
+        assert "false positives" in out
+        assert "recovery bit-identical: True" in out
+
+    def test_json_stdout(self, capsys):
+        assert main(["integrity", "--smoke", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["smoke"] is True
+        assert payload["headline"]["detection_rate"] == 1.0
+        assert payload["headline"]["false_positives"] == 0
+
+    def test_json_to_file(self, capsys, tmp_path):
+        target = tmp_path / "integrity.json"
+        assert main(["integrity", "--smoke", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["config"] == "16-16"
+        assert "written to" in capsys.readouterr().out
+
+    def test_seed_flag_changes_output(self, capsys):
+        assert main(["integrity", "--smoke", "--json", "-", "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["integrity", "--smoke", "--json", "-", "--seed", "4"]) == 0
+        assert first != capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Bit-flip mechanics and the SDC injector's hook contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.integrity.sdc import PSUM_BITS, FlipEvent, SDCInjector, flip_code
+from repro.resilience.faults import BitFlipFault
+
+
+class TestFlipCode:
+    def test_flips_chosen_bit(self):
+        assert flip_code(0, 0, 16) == 1
+        assert flip_code(1, 0, 16) == 0
+        assert flip_code(0, 3, 16) == 8
+
+    def test_sign_bit_wraps_twos_complement(self):
+        assert flip_code(0, 15, 16) == -(1 << 15)
+        assert flip_code(-(1 << 15), 15, 16) == 0
+
+    def test_involution(self):
+        for value in (0, 1, -1, 123, -456, 32767, -32768):
+            for bit in (0, 7, 15):
+                assert flip_code(flip_code(value, bit, 16), bit, 16) == value
+
+    def test_wide_word(self):
+        assert flip_code(0, 39, PSUM_BITS) == -(1 << 39)
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ConfigError, match="bit"):
+            flip_code(0, 16, 16)
+        with pytest.raises(ConfigError, match="bit"):
+            flip_code(0, -1, 16)
+
+
+class TestInjectorValidation:
+    def test_rejects_non_faults(self):
+        with pytest.raises(ConfigError, match="BitFlipFault"):
+            SDCInjector(["activation"])
+
+    @pytest.mark.parametrize("bad", [1, 65, 0])
+    def test_word_bits_bounds(self, bad):
+        with pytest.raises(ConfigError, match="word_bits"):
+            SDCInjector([], word_bits=bad)
+
+    def test_float_tensor_rejected(self):
+        inj = SDCInjector([BitFlipFault("output", 0, 0)])
+        with pytest.raises(ConfigError, match="integer-code"):
+            inj.on_output(np.zeros((2, 2, 2)))
+
+
+class TestHooks:
+    def test_activation_flip_copies_not_mutates(self):
+        original = np.zeros((2, 3, 3), dtype=np.int64)
+        inj = SDCInjector([BitFlipFault("activation", 4, 2)])
+        corrupted = inj.on_activation(original)
+        assert original.sum() == 0
+        assert corrupted.reshape(-1)[4] == 4
+        assert len(inj.events) == 1
+        assert inj.events[0].site == "activation"
+
+    def test_weight_flip(self):
+        weights = np.zeros((2, 2, 3, 3), dtype=np.int64)
+        inj = SDCInjector([BitFlipFault("weight", 7, 0)])
+        corrupted = inj.on_weight(weights)
+        assert corrupted.reshape(-1)[7] == 1
+        assert weights.sum() == 0
+
+    def test_psum_fires_only_at_matching_step(self):
+        acc = np.zeros((4,), dtype=np.int64)
+        inj = SDCInjector([BitFlipFault("psum", 1, 0, step=2)])
+        inj.on_psum(acc, step=0, steps_total=4)
+        assert not inj.events and acc.sum() == 0
+        inj.on_psum(acc, step=2, steps_total=4)
+        assert acc[1] == 1
+        assert inj.events[0].step == 2
+
+    def test_psum_step_wraps_modulo_total(self):
+        acc = np.zeros((4,), dtype=np.int64)
+        inj = SDCInjector([BitFlipFault("psum", 0, 0, step=7)])
+        inj.on_psum(acc, step=1, steps_total=3)  # 7 % 3 == 1
+        assert acc[0] == 1
+
+    def test_output_flip_in_place(self):
+        out = np.zeros((2, 2, 2), dtype=np.int64)
+        inj = SDCInjector([BitFlipFault("output", 3, 5)])
+        inj.on_output(out)
+        assert out.reshape(-1)[3] == 32
+
+    def test_index_and_bit_wrap(self):
+        out = np.zeros((2,), dtype=np.int64)
+        inj = SDCInjector([BitFlipFault("output", 5, 17)])
+        inj.on_output(out)
+        event = inj.events[0]
+        assert event.flat_index == 1  # 5 % 2
+        assert event.bit == 1  # 17 % 16
+
+    def test_each_fault_fires_once(self):
+        out = np.zeros((4,), dtype=np.int64)
+        inj = SDCInjector([BitFlipFault("output", 0, 0)])
+        assert inj.pending_count == 1
+        inj.on_output(out)
+        inj.on_output(out)
+        assert len(inj.events) == 1
+        assert inj.pending_count == 0
+
+    def test_no_fault_returns_same_array(self):
+        data = np.zeros((2, 2, 2), dtype=np.int64)
+        inj = SDCInjector([BitFlipFault("weight", 0, 0)])
+        assert inj.on_activation(data) is data
+
+
+class TestFlipEvent:
+    def test_to_dict(self):
+        event = FlipEvent("psum", 9, 3, before=10, after=2, step=4)
+        assert event.to_dict() == {
+            "site": "psum",
+            "flat_index": 9,
+            "bit": 3,
+            "before": 10,
+            "after": 2,
+            "step": 4,
+        }

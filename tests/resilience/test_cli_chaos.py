@@ -13,7 +13,7 @@ class TestChaosCommand:
         assert main(["chaos", "--list"]) == 0
         out = capsys.readouterr().out
         for name in ("single-crash", "fail-slow", "link-flap", "cascade",
-                     "pe-mask", "chip-loss"):
+                     "pe-mask", "chip-loss", "sdc-storm", "sdc-silent"):
             assert name in out
 
     def test_single_scenario_table(self, capsys):
@@ -60,6 +60,24 @@ class TestChaosCommand:
     def test_unknown_scenario_raises(self):
         with pytest.raises(ConfigError, match="unknown scenario"):
             main(["chaos", "meteor-strike"])
+
+    def test_sdc_storm_prints_integrity_digest_and_passes(self, capsys):
+        assert main(["chaos", "sdc-storm"]) == 0
+        out = capsys.readouterr().out
+        assert "corrupted batches" in out
+        assert "drained [1]" in out
+        assert "INVARIANT VIOLATED" not in out
+
+    def test_sdc_silent_has_no_invariants_to_violate(self, capsys):
+        assert main(["chaos", "sdc-silent"]) == 0
+        out = capsys.readouterr().out
+        assert "escaped" in out
+
+    def test_sdc_storm_json_carries_invariants(self, capsys):
+        assert main(["chaos", "sdc-storm", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["invariants"] == {"zero-escaped": True, "sdc-drained": True}
+        assert payload["integrity"]["escaped_batches"] == 0
 
     def test_seed_flag_changes_output(self, capsys):
         assert main(["chaos", "single-crash", "--json", "-", "--seed", "1"]) == 0

@@ -8,11 +8,15 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.resilience.faults import (
+    BITFLIP_SITES,
+    BitFlipFault,
     FaultSchedule,
     LinkFault,
     PEMask,
     ReplicaFault,
+    SDCFault,
     flapping_link,
+    seeded_bitflips,
 )
 
 
@@ -124,6 +128,80 @@ class TestFaultSchedule:
         assert d["seed"] == 7
         assert d["replica_faults"][0]["kind"] == "crash"
         assert d["pe_mask"] == {"masked_cols": 2, "masked_rows": 0}
+
+
+class TestBitFlipFault:
+    def test_sites_cover_the_datapath(self):
+        assert BITFLIP_SITES == ("activation", "weight", "psum", "output")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError, match="site"):
+            BitFlipFault("cache", 0, 0)
+
+    @pytest.mark.parametrize("bad", [-1, True, 1.5])
+    def test_bad_index_bit_step(self, bad):
+        with pytest.raises(ConfigError):
+            BitFlipFault("psum", bad, 0)
+        with pytest.raises(ConfigError):
+            BitFlipFault("psum", 0, bad)
+        with pytest.raises(ConfigError):
+            BitFlipFault("psum", 0, 0, step=bad)
+
+    def test_bit_bounded_to_word(self):
+        with pytest.raises(ConfigError, match="bit"):
+            BitFlipFault("output", 0, 64)
+
+    def test_to_dict(self):
+        d = BitFlipFault("psum", 12, 3, step=2).to_dict()
+        assert d["site"] == "psum"
+        assert d["index"] == 12
+
+
+class TestSeededBitflips:
+    def test_same_seed_same_family(self):
+        assert seeded_bitflips(9, 8) == seeded_bitflips(9, 8)
+
+    def test_round_robin_covers_every_site(self):
+        family = seeded_bitflips(0, 8)
+        assert [f.site for f in family[:4]] == list(BITFLIP_SITES)
+        assert [f.site for f in family[4:]] == list(BITFLIP_SITES)
+
+    def test_site_restriction(self):
+        family = seeded_bitflips(0, 5, sites=("weight",))
+        assert all(f.site == "weight" for f in family)
+
+    def test_psum_uses_wide_word(self):
+        family = seeded_bitflips(3, 40, psum_bits=24, word_bits=16)
+        assert all(f.bit < 16 for f in family if f.site != "psum")
+        assert all(f.bit < 24 for f in family if f.site == "psum")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigError, match="count"):
+            seeded_bitflips(0, -1)
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ConfigError, match="at least one site"):
+            seeded_bitflips(0, 1, sites=())
+
+
+class TestSDCInSchedule:
+    def test_sdc_faults_sorted_and_counted(self):
+        schedule = FaultSchedule(
+            sdc_faults=(
+                SDCFault(replica=1, time_s=2.0, duration_s=0.5),
+                SDCFault(replica=0, time_s=1.0, duration_s=0.5),
+            )
+        )
+        assert [f.time_s for f in schedule.sdc_faults] == [1.0, 2.0]
+        assert not schedule.is_empty
+        assert schedule.to_dict()["sdc_faults"][0]["replica"] == 0
+
+    def test_validate_for_checks_sdc_targets(self):
+        schedule = FaultSchedule(
+            sdc_faults=(SDCFault(replica=5, time_s=0.0, duration_s=1.0),)
+        )
+        with pytest.raises(ConfigError, match="replica 5"):
+            schedule.validate_for(2)
 
 
 class TestSeeded:

@@ -9,6 +9,7 @@ from repro.cluster.link import LinkSpec
 from repro.errors import ConfigError
 from repro.resilience.faults import FaultSchedule, LinkFault, PEMask
 from repro.resilience.scenarios import (
+    INVARIANT_NAMES,
     SCENARIO_NAMES,
     ChaosScenario,
     build_scenario,
@@ -145,6 +146,72 @@ class TestRepairSection:
         assert repair["healthy_chips"] == 3
         assert 0.0 < repair["throughput_ratio"] <= 1.0
         assert repair["rebalance_bytes"] > 0
+
+
+class TestSDCScenarios:
+    @pytest.fixture(scope="class")
+    def storm(self):
+        return run("sdc-storm")
+
+    def test_registered(self):
+        assert "sdc-storm" in SCENARIO_NAMES
+        assert "sdc-silent" in SCENARIO_NAMES
+
+    def test_storm_detects_corrects_and_drains(self, storm):
+        integrity = storm["integrity"]
+        assert integrity["corrupted_batches"] > 0
+        assert integrity["detected"] == integrity["corrupted_batches"]
+        assert integrity["corrected"] == integrity["detected"]
+        assert integrity["escaped_batches"] == 0
+        assert integrity["drained_replicas"] == [1]
+
+    def test_storm_invariants_hold(self, storm):
+        assert storm["invariants"] == {"zero-escaped": True, "sdc-drained": True}
+
+    def test_storm_quotes_verified_latency_tax(self, storm):
+        ratio = storm["integrity"]["verified_latency_ratio"]
+        assert ratio["p50"] >= 1.0
+        assert ratio["p95"] >= 1.0
+
+    def test_silent_tier_escapes_every_corruption(self):
+        rollup = run("sdc-silent")
+        integrity = rollup["integrity"]
+        assert integrity["detected"] == 0
+        assert integrity["escaped_batches"] == integrity["corrupted_batches"] > 0
+        assert rollup["invariants"] == {}
+
+    def test_storm_meta_names_verification_and_invariants(self, storm):
+        meta = storm["scenario"]
+        assert "verification(" in meta["verification"]
+        assert meta["invariants"] == list(INVARIANT_NAMES)
+
+    def test_unknown_invariant_rejected(self):
+        with pytest.raises(ConfigError, match="invariant"):
+            ChaosScenario(
+                name="x",
+                description="",
+                schedule=FaultSchedule(),
+                invariants=("always-sunny",),
+            )
+
+    def test_byte_identical_reruns(self):
+        assert rollup_to_json(run("sdc-storm")) == rollup_to_json(run("sdc-storm"))
+
+    def test_violated_invariant_reports_false(self):
+        from repro.serve.verified import SDCFault
+
+        # declare zero-escaped on an unguarded tier: it must evaluate False
+        scenario = ChaosScenario(
+            name="sdc-unguarded",
+            description="corruption with no verification",
+            schedule=FaultSchedule(
+                sdc_faults=(SDCFault(replica=1, time_s=0.8, duration_s=1.2),),
+                seed=1,
+            ),
+            invariants=("zero-escaped",),
+        )
+        rollup = run_scenario(scenario, coster=_COSTER)
+        assert rollup["invariants"] == {"zero-escaped": False}
 
 
 class TestLinkWindows:

@@ -1,0 +1,73 @@
+"""The ABFT guard's cost model, priced through the scheme cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.nn.layers import ConvLayer, TensorShape
+from repro.nn.network import LayerContext
+from repro.schemes import make_scheme
+from repro.schemes.abft import AbftOverhead, abft_overhead
+
+
+def context(k=3, s=1, pad=1, groups=1, din=64, dout=64, hw=28):
+    layer = ConvLayer(
+        "conv", in_maps=din, out_maps=dout, kernel=k, stride=s, pad=pad, groups=groups
+    )
+    in_shape = TensorShape(din, hw, hw)
+    return LayerContext(layer, in_shape, layer.output_shape(in_shape))
+
+
+def overhead(scheme="inter-improved", **kwargs):
+    ctx = context(**kwargs)
+    base = make_scheme(scheme).schedule(ctx, CONFIG_16_16)
+    return abft_overhead(ctx, CONFIG_16_16, base)
+
+
+class TestOverheadModel:
+    def test_guard_costs_more_than_nothing_but_less_than_rerun(self):
+        over = overhead()
+        assert over.checksum_cycles > 0
+        assert 1.0 < over.latency_ratio < 2.0
+
+    def test_verified_cycles_stack_on_base(self):
+        over = overhead()
+        assert over.verified_cycles == over.base_cycles + over.checksum_cycles
+
+    def test_checksum_macs_are_a_small_fraction(self):
+        over = overhead()
+        # k*(oy+ox) dot products per map vs oy*ox*k^2 useful MACs per map
+        assert 0 < over.mac_overhead < 0.25
+
+    def test_reduce_adds_scale_with_padded_input(self):
+        small = overhead(hw=14, pad=0)
+        big = overhead(hw=28, pad=0)
+        assert big.reduce_adds == 4 * small.reduce_adds
+
+    def test_grouped_layer_priced(self):
+        over = overhead(scheme="partition", k=3, s=1, pad=1, groups=2, din=8, dout=8)
+        assert over.checksum_macs > 0
+        assert over.base_scheme == "partition"
+
+    def test_to_dict_rounds_and_names(self):
+        d = overhead().to_dict()
+        assert d["layer"] == "conv"
+        assert d["latency_ratio"] == round(d["verified_cycles"] / d["base_cycles"], 6)
+        for key in ("reduce_adds", "checksum_macs", "compare_ops", "extra_words"):
+            assert isinstance(d[key], int)
+
+    def test_zero_base_cycles_ratio_defined(self):
+        over = AbftOverhead(
+            layer_name="x",
+            base_scheme="s",
+            reduce_adds=0,
+            checksum_macs=0,
+            compare_ops=0,
+            extra_words=0,
+            checksum_cycles=0.0,
+            base_cycles=0.0,
+            verified_cycles=0.0,
+        )
+        assert over.latency_ratio == 1.0
+        assert over.mac_overhead == 0.0
