@@ -33,7 +33,9 @@ networks
 Every command also accepts the planning-performance flags (see
 ``docs/performance.md``): ``--jobs N`` fans design-space work out over N
 worker processes (-1 = all CPUs), ``--no-plan-cache`` disables the schedule
-cache, and ``--perf-report`` prints phase timings and cache statistics
+cache, ``--backend {loop,vector}`` picks the functional-simulator execution
+(``vector`` is the default fast path; ``loop`` is the bit-exactness
+oracle), and ``--perf-report`` prints phase timings and cache statistics
 after the command finishes.
 """
 
@@ -648,6 +650,13 @@ def main(argv=None) -> int:
         help="disable the per-layer schedule cache",
     )
     perf_opts.add_argument(
+        "--backend",
+        default=None,
+        choices=["loop", "vector"],
+        help="functional-simulator backend (default: vector, or "
+        "$REPRO_SIM_BACKEND; 'loop' is the bit-exactness oracle)",
+    )
+    perf_opts.add_argument(
         "--perf-report",
         action="store_true",
         help="print phase timings and cache statistics when done",
@@ -892,6 +901,10 @@ def main(argv=None) -> int:
 
     if getattr(args, "no_plan_cache", False):
         schedule_cache.configure(enabled=False)
+    if getattr(args, "backend", None):
+        from repro.sim.backend import set_backend
+
+        set_backend(args.backend)
     if getattr(args, "jobs", None) is not None:
         from repro.errors import ConfigError
 

@@ -37,11 +37,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.arch.fixedpoint import FixedPointFormat, Q7_8, quantize
 from repro.errors import ConfigError
 from repro.integrity.sdc import SDCInjector
 from repro.nn.layers import conv_output_hw
+from repro.sim.backend import conv_window_view, resolve_backend
 from repro.sim.functional import (
     conv_via_im2col,
     conv_via_inter_improved,
@@ -127,12 +129,16 @@ def predicted_checksums(
     stride: int = 1,
     pad: int = 0,
     groups: int = 1,
+    backend: Optional[str] = None,
 ) -> Checksums:
     """Predict the output checksums from input/weight reductions alone.
 
     The input is column-reduced (summed over the ``ox`` positions each
     kernel column touches) and row-reduced likewise; one small einsum per
-    group then yields every row/column sum.  All in int64 — exact.
+    group then yields every row/column sum.  All in int64 — exact on
+    either backend (the ``vector`` backend gathers the same reductions
+    through strided window views instead of per-kernel-element loops;
+    integer sums are order-independent, so the checksums are identical).
     """
     if not np.issubdtype(data_codes.dtype, np.integer) or not np.issubdtype(
         weight_codes.dtype, np.integer
@@ -147,30 +153,51 @@ def predicted_checksums(
     ow = conv_output_hw(data_codes.shape[2] + 2 * pad, k, s, 0)
     row = np.zeros((dout, oh), dtype=np.int64)
     col = np.zeros((dout, ow), dtype=np.int64)
+    vector = resolve_backend(backend) == "vector"
     for g in range(groups):
         dslice = data_codes[g * din_g : (g + 1) * din_g].astype(np.int64)
         padded = pad_input(dslice, pad)
         w_g = weight_codes[g * dout_g : (g + 1) * dout_g].astype(np.int64)
-        # column reduction: colsum[d, h, v] = sum_ox padded[d, h, v + ox*s]
-        colsum = np.empty((din_g, padded.shape[1], k), dtype=np.int64)
-        for v in range(k):
-            colsum[:, :, v] = padded[:, :, v : v + (ow - 1) * s + 1 : s].sum(axis=2)
-        # gather the rows each (oy, u) pair reads: SR[oy, d, u, v]
-        sr = np.empty((oh, din_g, k, k), dtype=np.int64)
-        for u in range(k):
-            sr[:, :, u, :] = colsum[:, u : u + (oh - 1) * s + 1 : s, :].transpose(
-                1, 0, 2
-            )
+        if vector:
+            # colsum[d, h, v] = sum_ox padded[d, h, v + ox*s], via one
+            # window view over the W axis instead of a per-v loop
+            cwin = sliding_window_view(padded, k, axis=2)  # [d, h, x, v]
+            colsum = cwin[:, :, : (ow - 1) * s + 1 : s].sum(axis=2, dtype=np.int64)
+            # sr[oy, d, u, v] = colsum[d, u + oy*s, v]
+            rwin = sliding_window_view(colsum, k, axis=1)  # [d, y, v, u]
+            sr = rwin[:, : (oh - 1) * s + 1 : s].transpose(1, 0, 3, 2)
+        else:
+            # column reduction: colsum[d, h, v] = sum_ox padded[d, h, v + ox*s]
+            colsum = np.empty((din_g, padded.shape[1], k), dtype=np.int64)
+            for v in range(k):
+                colsum[:, :, v] = padded[:, :, v : v + (ow - 1) * s + 1 : s].sum(
+                    axis=2
+                )
+            # gather the rows each (oy, u) pair reads: SR[oy, d, u, v]
+            sr = np.empty((oh, din_g, k, k), dtype=np.int64)
+            for u in range(k):
+                sr[:, :, u, :] = colsum[:, u : u + (oh - 1) * s + 1 : s, :].transpose(
+                    1, 0, 2
+                )
         row[g * dout_g : (g + 1) * dout_g] = np.einsum("yduv,oduv->oy", sr, w_g)
-        # row reduction: rowsum[d, u, w] = sum_oy padded[d, u + oy*s, w]
-        rowsum = np.empty((din_g, k, padded.shape[2]), dtype=np.int64)
-        for u in range(k):
-            rowsum[:, u, :] = padded[:, u : u + (oh - 1) * s + 1 : s, :].sum(axis=1)
-        sc = np.empty((ow, din_g, k, k), dtype=np.int64)
-        for v in range(k):
-            sc[:, :, :, v] = rowsum[:, :, v : v + (ow - 1) * s + 1 : s].transpose(
-                2, 0, 1
-            )
+        if vector:
+            # rowsum gathered as [d, w, u]; sc[ox, d, u, v] = rowsum[d, u, v + ox*s]
+            hwin = sliding_window_view(padded, k, axis=1)  # [d, y, w, u]
+            rowsum = hwin[:, : (oh - 1) * s + 1 : s].sum(axis=1, dtype=np.int64)
+            swin = sliding_window_view(rowsum, k, axis=1)  # [d, x, u, v]
+            sc = swin[:, : (ow - 1) * s + 1 : s].transpose(1, 0, 2, 3)
+        else:
+            # row reduction: rowsum[d, u, w] = sum_oy padded[d, u + oy*s, w]
+            rowsum = np.empty((din_g, k, padded.shape[2]), dtype=np.int64)
+            for u in range(k):
+                rowsum[:, u, :] = padded[:, u : u + (oh - 1) * s + 1 : s, :].sum(
+                    axis=1
+                )
+            sc = np.empty((ow, din_g, k, k), dtype=np.int64)
+            for v in range(k):
+                sc[:, :, :, v] = rowsum[:, :, v : v + (ow - 1) * s + 1 : s].transpose(
+                    2, 0, 1
+                )
         col[g * dout_g : (g + 1) * dout_g] = np.einsum("xduv,oduv->ox", sc, w_g)
     if bias_codes is not None:
         b = bias_codes.astype(np.int64)
@@ -277,6 +304,54 @@ def _recompute_row(
         out[oc, oy, :] += bias_codes[oc]
 
 
+def _recompute_rows(
+    out: np.ndarray,
+    data_codes: np.ndarray,
+    weight_codes: np.ndarray,
+    bias_codes: Optional[np.ndarray],
+    stride: int,
+    pad: int,
+    groups: int,
+    oc: int,
+    rows,
+    backend: Optional[str] = None,
+) -> None:
+    """Re-execute a batch of output rows of one map from the clean operands.
+
+    The ``loop`` backend recomputes pixel by pixel (the oracle); ``vector``
+    gathers every flagged row's windows through one strided view and runs a
+    single einsum — bit-identical in the integer-code domain.
+    """
+    rows_arr = np.asarray(list(rows), dtype=np.intp)
+    if rows_arr.size == 0:
+        return
+    if resolve_backend(backend) != "vector":
+        for oy in rows_arr:
+            _recompute_row(
+                out,
+                data_codes,
+                weight_codes,
+                bias_codes,
+                stride,
+                pad,
+                groups,
+                oc,
+                int(oy),
+            )
+        return
+    dout = weight_codes.shape[0]
+    k = weight_codes.shape[-1]
+    din_g = data_codes.shape[0] // groups
+    dout_g = dout // groups
+    g = oc // dout_g
+    padded = pad_input(data_codes[g * din_g : (g + 1) * din_g], pad)
+    win = conv_window_view(padded, k, stride, out.shape[1], out.shape[2])
+    fresh = np.einsum("dyxuv,duv->yx", win[:, rows_arr], weight_codes[oc])
+    if bias_codes is not None:
+        fresh = fresh + bias_codes[oc]
+    out[oc, rows_arr] = fresh
+
+
 def recompute_flagged(
     out: np.ndarray,
     report: CheckReport,
@@ -287,6 +362,7 @@ def recompute_flagged(
     stride: int = 1,
     pad: int = 0,
     groups: int = 1,
+    backend: Optional[str] = None,
 ) -> RecoveryReport:
     """Recompute the damage `report` localized, in place, and re-check.
 
@@ -304,16 +380,24 @@ def recompute_flagged(
             0 < len(rows) <= _LOCAL_LIMIT and 0 < len(cols) <= _LOCAL_LIMIT
         )
         target_rows = rows if local else range(out.shape[1])
-        if not local:
+        if local:
+            row_recomputes += len(target_rows)
+            recomputed.extend((oc, oy) for oy in target_rows)
+        else:
             map_recomputes += 1
             recomputed.append((oc, -1))
-        for oy in target_rows:
-            _recompute_row(
-                out, data_codes, weight_codes, bias_codes, stride, pad, groups, oc, oy
-            )
-            if local:
-                row_recomputes += 1
-                recomputed.append((oc, oy))
+        _recompute_rows(
+            out,
+            data_codes,
+            weight_codes,
+            bias_codes,
+            stride,
+            pad,
+            groups,
+            oc,
+            target_rows,
+            backend,
+        )
     after = check_output(out, predicted)
     if not after.clean:
         # the local repair under-reached: a corrupted row whose net change
@@ -321,18 +405,18 @@ def recompute_flagged(
         for oc in after.flagged_maps:
             map_recomputes += 1
             recomputed.append((oc, -1))
-            for oy in range(out.shape[1]):
-                _recompute_row(
-                    out,
-                    data_codes,
-                    weight_codes,
-                    bias_codes,
-                    stride,
-                    pad,
-                    groups,
-                    oc,
-                    oy,
-                )
+            _recompute_rows(
+                out,
+                data_codes,
+                weight_codes,
+                bias_codes,
+                stride,
+                pad,
+                groups,
+                oc,
+                range(out.shape[1]),
+                backend,
+            )
         after = check_output(out, predicted)
     return RecoveryReport(
         row_recomputes=row_recomputes,
@@ -372,6 +456,7 @@ def verified_conv(
     path: str = "partition",
     fmt: FixedPointFormat = Q7_8,
     inject: Optional[SDCInjector] = None,
+    backend: Optional[str] = None,
 ) -> VerifiedConvResult:
     """Run one convolution under the ABFT guard, recovering any corruption.
 
@@ -389,7 +474,7 @@ def verified_conv(
         data, weights, bias, fmt
     )
     predicted = predicted_checksums(
-        data_codes, weight_codes, bias_codes, stride, pad, groups
+        data_codes, weight_codes, bias_codes, stride, pad, groups, backend
     )
     raw = _PATH_FNS[path](
         data_codes,
@@ -399,6 +484,7 @@ def verified_conv(
         pad=pad,
         groups=groups,
         inject=inject,
+        backend=backend,
     )
     report = check_output(raw, predicted)
     recovery: Optional[RecoveryReport] = None
@@ -415,6 +501,7 @@ def verified_conv(
             stride=stride,
             pad=pad,
             groups=groups,
+            backend=backend,
         )
     return VerifiedConvResult(
         output=out,
@@ -434,11 +521,18 @@ def golden_codes(
     pad: int = 0,
     groups: int = 1,
     fmt: FixedPointFormat = Q7_8,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """The reference convolution on the quantized codes — the recovery target."""
     data_codes, weight_codes, bias_codes = quantize_conv_operands(
         data, weights, bias, fmt
     )
     return reference_conv(
-        data_codes, weight_codes, bias_codes, stride=stride, pad=pad, groups=groups
+        data_codes,
+        weight_codes,
+        bias_codes,
+        stride=stride,
+        pad=pad,
+        groups=groups,
+        backend=backend,
     )

@@ -35,6 +35,7 @@ from repro.resilience.faults import BITFLIP_SITES, seeded_bitflips
 from repro.schemes import make_scheme
 from repro.schemes.abft import abft_overhead
 from repro.serve.metrics import to_json
+from repro.sim.backend import resolve_backend
 from repro.sim.functional import random_conv_tensors
 
 __all__ = ["SWEEP_LAYERS", "run_sweep", "sweep_to_json"]
@@ -82,8 +83,16 @@ def run_sweep(
     flips_per_site: int = 4,
     smoke: bool = False,
     config: AcceleratorConfig = CONFIG_16_16,
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the full injection sweep and return the byte-stable rollup."""
+    """Run the full injection sweep and return the byte-stable rollup.
+
+    ``backend`` picks the functional-simulator execution (see
+    :mod:`repro.sim.backend`); every tally and the recovered outputs are
+    bit-identical across backends, so the rollup differs only in the
+    recorded ``backend`` field.
+    """
+    backend = resolve_backend(backend)
     layer_specs = SWEEP_LAYERS[:3] if smoke else SWEEP_LAYERS
     if smoke:
         flips_per_site = min(flips_per_site, 2)
@@ -102,11 +111,20 @@ def run_sweep(
         data, weights, bias = random_conv_tensors(
             layer, in_shape, seed=seed * 1009 + li
         )
-        golden = golden_codes(data, weights, bias, stride=s, pad=pad, groups=groups)
+        golden = golden_codes(
+            data, weights, bias, stride=s, pad=pad, groups=groups, backend=backend
+        )
         for pi, path in enumerate(ABFT_PATHS):
             # clean run: the zero-false-positive claim is checked here
             clean = verified_conv(
-                data, weights, bias, stride=s, pad=pad, groups=groups, path=path
+                data,
+                weights,
+                bias,
+                stride=s,
+                pad=pad,
+                groups=groups,
+                path=path,
+                backend=backend,
             )
             clean_runs += 1
             if clean.detected:
@@ -129,6 +147,7 @@ def run_sweep(
                         groups=groups,
                         path=path,
                         inject=injector,
+                        backend=backend,
                     )
                     for tally in (sites[site], paths[path]):
                         tally["injections"] += 1
@@ -203,6 +222,7 @@ def run_sweep(
         "smoke": smoke,
         "flips_per_site": flips_per_site,
         "config": config.name,
+        "backend": backend,
         "layers": layers,
         "sites": sites,
         "paths": paths,

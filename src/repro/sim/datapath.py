@@ -22,6 +22,7 @@ import numpy as np
 from repro.arch.fixedpoint import Q7_8, FixedPointFormat
 from repro.errors import ShapeError
 from repro.nn.layers import conv_output_hw
+from repro.sim.backend import conv_window_view, resolve_backend, window_columns
 from repro.tiling.partition import (
     pad_data_for_partition,
     partition_geometry,
@@ -78,6 +79,7 @@ def conv_codes_direct(
     stride: int = 1,
     pad: int = 0,
     fmt: FixedPointFormat = Q7_8,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Reference integer convolution: direct window order, wide accumulator."""
     _check(data_codes, weight_codes)
@@ -87,14 +89,18 @@ def conv_codes_direct(
     oh = conv_output_hw(h, k, stride, 0)
     ow = conv_output_hw(w, k, stride, 0)
     dout = weight_codes.shape[0]
-    acc = np.zeros((dout, oh, ow), dtype=np.int64)
     wc = weight_codes.astype(np.int64)
-    for oy in range(oh):
-        iy = oy * stride
-        for ox in range(ow):
-            ix = ox * stride
-            patch = padded[:, iy : iy + k, ix : ix + k]
-            acc[:, oy, ox] = np.einsum("dhw,odhw->o", patch, wc)
+    if resolve_backend(backend) == "vector":
+        cols = window_columns(conv_window_view(padded, k, stride, oh, ow))
+        acc = (cols @ wc.reshape(dout, -1).T).T.reshape(dout, oh, ow)
+    else:
+        acc = np.zeros((dout, oh, ow), dtype=np.int64)
+        for oy in range(oh):
+            iy = oy * stride
+            for ox in range(ow):
+                ix = ox * stride
+                patch = padded[:, iy : iy + k, ix : ix + k]
+                acc[:, oy, ox] = np.einsum("dhw,odhw->o", patch, wc)
     if bias_codes is not None:
         # bias is a Qm.n code; align it to the 2n-fraction accumulator
         acc += bias_codes.astype(np.int64)[:, None, None] << fmt.frac_bits
@@ -108,12 +114,15 @@ def conv_codes_partitioned(
     stride: int = 1,
     pad: int = 0,
     fmt: FixedPointFormat = Q7_8,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Integer convolution in Algorithm 1's order (partition, accumulate)."""
     _check(data_codes, weight_codes)
     k = weight_codes.shape[-1]
     if stride >= k:
-        return conv_codes_direct(data_codes, weight_codes, bias_codes, stride, pad, fmt)
+        return conv_codes_direct(
+            data_codes, weight_codes, bias_codes, stride, pad, fmt, backend
+        )
     geom = partition_geometry(k, stride)
     ks, g = geom.sub_kernel, geom.groups_per_side
     padded = pad_data_for_partition(data_codes.astype(np.int64), k, stride, pad)
@@ -123,16 +132,28 @@ def conv_codes_partitioned(
     dout = weight_codes.shape[0]
     # the "output buffer" running sum of Algorithm 1, kept at accumulator width
     acc = np.zeros((dout, oh, ow), dtype=np.int64)
-    for piece in range(geom.pieces):
-        i, j = divmod(piece, g)
-        for oy in range(oh):
-            iy = oy * stride + i * ks
-            for ox in range(ow):
-                ix = ox * stride + j * ks
-                window = padded[:, iy : iy + ks, ix : ix + ks]
-                acc[:, oy, ox] += np.einsum(
-                    "dhw,odhw->o", window, sub[:, :, piece]
-                )
+    if resolve_backend(backend) == "vector":
+        din = data_codes.shape[0]
+        for piece in range(geom.pieces):
+            i, j = divmod(piece, g)
+            cols = window_columns(
+                conv_window_view(padded, ks, stride, oh, ow, i * ks, j * ks)
+            )
+            wmat = np.ascontiguousarray(
+                sub[:, :, piece].reshape(dout, din * ks * ks)
+            )
+            acc += (cols @ wmat.T).T.reshape(dout, oh, ow)
+    else:
+        for piece in range(geom.pieces):
+            i, j = divmod(piece, g)
+            for oy in range(oh):
+                iy = oy * stride + i * ks
+                for ox in range(ow):
+                    ix = ox * stride + j * ks
+                    window = padded[:, iy : iy + ks, ix : ix + ks]
+                    acc[:, oy, ox] += np.einsum(
+                        "dhw,odhw->o", window, sub[:, :, piece]
+                    )
     if bias_codes is not None:
         acc += bias_codes.astype(np.int64)[:, None, None] << fmt.frac_bits
     return requantize(acc, fmt)
@@ -145,24 +166,34 @@ def conv_codes_inter_improved(
     stride: int = 1,
     pad: int = 0,
     fmt: FixedPointFormat = Q7_8,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
-    """Integer convolution in the Sec 4.2.2 partial-sum order."""
+    """Integer convolution in the Sec 4.2.2 partial-sum order.
+
+    Already per-step vectorized (one strided-view ``einsum`` per kernel
+    element); on the ``vector`` backend the ``k*k`` steps fuse into one
+    im2col/GEMM — bit-identical, integer addition being associative.
+    """
     _check(data_codes, weight_codes)
     k = weight_codes.shape[-1]
     padded = pad_input(data_codes.astype(np.int64), pad)
     oh = conv_output_hw(padded.shape[1], k, stride, 0)
     ow = conv_output_hw(padded.shape[2], k, stride, 0)
     dout = weight_codes.shape[0]
-    acc = np.zeros((dout, oh, ow), dtype=np.int64)
     wc = weight_codes.astype(np.int64)
-    for u in range(k):
-        for v in range(k):
-            view = padded[
-                :,
-                u : u + (oh - 1) * stride + 1 : stride,
-                v : v + (ow - 1) * stride + 1 : stride,
-            ]
-            acc += np.einsum("dhw,od->ohw", view, wc[:, :, u, v])
+    if resolve_backend(backend) == "vector":
+        cols = window_columns(conv_window_view(padded, k, stride, oh, ow))
+        acc = (cols @ wc.reshape(dout, -1).T).T.reshape(dout, oh, ow)
+    else:
+        acc = np.zeros((dout, oh, ow), dtype=np.int64)
+        for u in range(k):
+            for v in range(k):
+                view = padded[
+                    :,
+                    u : u + (oh - 1) * stride + 1 : stride,
+                    v : v + (ow - 1) * stride + 1 : stride,
+                ]
+                acc += np.einsum("dhw,od->ohw", view, wc[:, :, u, v])
     if bias_codes is not None:
         acc += bias_codes.astype(np.int64)[:, None, None] << fmt.frac_bits
     return requantize(acc, fmt)

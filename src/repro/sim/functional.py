@@ -11,6 +11,18 @@ All functions take planar ``(Din, H, W)`` activations and
 ``(Dout, Din/groups, k, k)`` weights, mirroring
 :class:`~repro.nn.layers.ConvLayer`.
 
+Every path executes on one of two backends (see :mod:`repro.sim.backend`):
+``loop``, the original Python loop nests kept verbatim as the bit-exactness
+oracle, and ``vector``, a batched im2col/GEMM fast path.  On int64
+fixed-point codes the backends are bit-identical — integer accumulation is
+associative, so reordering the reductions cannot change a single bit — and
+the 40-bit-accumulator psum injection semantics below are preserved: the
+per-step accumulation structure (group steps for im2col, Algorithm 1 piece
+steps for partition) is the same on both backends, so an ``on_psum`` flip
+lands on the same live values.  The improved inter-kernel path drops to its
+stepwise order whenever an ``inject`` hook is present, because its vector
+form fuses the ``k*k`` add-and-store steps into one GEMM.
+
 Every scheme path (but *not* :func:`reference_conv`, which stays golden)
 accepts an optional ``inject`` hook object — duck-typed to
 :class:`repro.integrity.sdc.SDCInjector` — with four call sites:
@@ -36,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 from repro.errors import ShapeError
 from repro.nn.layers import ConvLayer, TensorShape, conv_output_hw
+from repro.sim.backend import conv_window_view, resolve_backend, window_columns
 from repro.tiling.partition import (
     pad_data_for_partition,
     partition_geometry,
@@ -74,6 +87,22 @@ def _check_conv_args(
         raise ShapeError("stride must be positive and pad non-negative")
 
 
+def _gemm_conv_group(
+    padded_group: np.ndarray,
+    weights_group: np.ndarray,
+    kernel: int,
+    stride: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """One group's direct conv as im2col/GEMM: ``(dout_g, oh, ow)``."""
+    cols = window_columns(
+        conv_window_view(padded_group, kernel, stride, oh, ow)
+    )  # (oh*ow, din_g*k*k)
+    wmat = weights_group.reshape(weights_group.shape[0], -1)
+    return (cols @ wmat.T).T.reshape(weights_group.shape[0], oh, ow)
+
+
 def reference_conv(
     data: np.ndarray,
     weights: np.ndarray,
@@ -81,11 +110,13 @@ def reference_conv(
     stride: int = 1,
     pad: int = 0,
     groups: int = 1,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Direct convolution — the golden reference for every scheme.
 
     Computed in float64 (or the input dtype if integer) with the canonical
-    sliding-window order.
+    sliding-window order on the ``loop`` backend, or as a batched
+    im2col/GEMM on ``vector`` (bit-identical on integer codes).
     """
     _check_conv_args(data, weights, stride, pad, groups)
     dout = weights.shape[0]
@@ -97,16 +128,27 @@ def reference_conv(
     out = np.zeros((dout, oh, ow), dtype=np.result_type(data, weights))
     din_g = din // groups
     dout_g = dout // groups
-    for g in range(groups):
-        dslice = padded[g * din_g : (g + 1) * din_g]
-        for oc in range(g * dout_g, (g + 1) * dout_g):
-            kern = weights[oc]
-            for oy in range(oh):
-                iy = oy * stride
-                for ox in range(ow):
-                    ix = ox * stride
-                    patch = dslice[:, iy : iy + k, ix : ix + k]
-                    out[oc, oy, ox] = np.sum(patch * kern)
+    if resolve_backend(backend) == "vector":
+        for g in range(groups):
+            out[g * dout_g : (g + 1) * dout_g] = _gemm_conv_group(
+                padded[g * din_g : (g + 1) * din_g],
+                weights[g * dout_g : (g + 1) * dout_g],
+                k,
+                stride,
+                oh,
+                ow,
+            )
+    else:
+        for g in range(groups):
+            dslice = padded[g * din_g : (g + 1) * din_g]
+            for oc in range(g * dout_g, (g + 1) * dout_g):
+                kern = weights[oc]
+                for oy in range(oh):
+                    iy = oy * stride
+                    for ox in range(ow):
+                        ix = ox * stride
+                        patch = dslice[:, iy : iy + k, ix : ix + k]
+                        out[oc, oy, ox] = np.sum(patch * kern)
     if bias is not None:
         out += bias[:, None, None]
     return out
@@ -120,8 +162,14 @@ def conv_via_im2col(
     pad: int = 0,
     groups: int = 1,
     inject: Optional["SDCInjector"] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
-    """Convolution executed as the intra-kernel unrolling scheme: im2col + GEMM."""
+    """Convolution executed as the intra-kernel unrolling scheme: im2col + GEMM.
+
+    The backends differ only in how the unrolled matrix is built (the
+    ``vector`` unroller is byte-identical to the loop one), so the GEMM,
+    the per-group psum hook sites, and the output are the same on both.
+    """
     _check_conv_args(data, weights, stride, pad, groups)
     if inject is not None:
         data = inject.on_activation(data)
@@ -136,7 +184,7 @@ def conv_via_im2col(
     out = np.zeros((dout, oh, ow), dtype=np.result_type(data, weights))
     for g in range(groups):
         dslice = data[g * din_g : (g + 1) * din_g]
-        cols = im2col(dslice, k, stride, pad)  # (oh*ow, din_g*k*k)
+        cols = im2col(dslice, k, stride, pad, backend=backend)  # (oh*ow, din_g*k*k)
         wmat = weights[g * dout_g : (g + 1) * dout_g].reshape(dout_g, -1)
         prod = cols @ wmat.T  # (oh*ow, dout_g)
         if inject is not None:
@@ -154,12 +202,18 @@ def partition_partial_maps(
     weights: np.ndarray,
     stride: int,
     pad: int = 0,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """The ``g*g`` partial output maps of Fig. 5(d) (single group).
 
     Returns an array of shape ``(G, Dout, oh, ow)``; summing over axis 0
     reproduces the direct convolution.  Exposed separately so tests can
     check the *intermediate* structure the paper draws, not just the sum.
+
+    The ``vector`` backend computes each piece as one im2col/GEMM over its
+    non-overlapping sub-kernel scan (all pieces batched into a single
+    ``matmul``); per-element the products and sums are the same, so the
+    partial maps are bit-identical to the loop scan on integer codes.
     """
     k = weights.shape[-1]
     geom = partition_geometry(k, stride)
@@ -172,6 +226,22 @@ def partition_partial_maps(
     base_w = data.shape[2] + 2 * pad
     oh = conv_output_hw(base_h, k, stride, 0)
     ow = conv_output_hw(base_w, k, stride, 0)
+    if resolve_backend(backend) == "vector":
+        din = data.shape[0]
+        stack = np.empty(
+            (geom.pieces, oh * ow, din * ks * ks), dtype=padded.dtype
+        )
+        for piece in range(geom.pieces):
+            i, j = divmod(piece, g)
+            stack[piece] = window_columns(
+                conv_window_view(padded, ks, stride, oh, ow, i * ks, j * ks)
+            )
+        # (G, Din*ks*ks, Dout): piece G's sub-kernels as one GEMM operand
+        wstack = np.ascontiguousarray(
+            sub.transpose(2, 1, 3, 4, 0).reshape(geom.pieces, din * ks * ks, dout)
+        )
+        prod = stack @ wstack  # (G, oh*ow, Dout)
+        return prod.transpose(0, 2, 1).reshape(geom.pieces, dout, oh, ow)
     partials = np.zeros(
         (geom.pieces, dout, oh, ow), dtype=np.result_type(data, weights)
     )
@@ -199,6 +269,7 @@ def conv_via_partition(
     pad: int = 0,
     groups: int = 1,
     inject: Optional["SDCInjector"] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Convolution executed by Algorithm 1 (kernel partitioning).
 
@@ -208,16 +279,25 @@ def conv_via_partition(
     do not overlap); they execute in the plain sliding-window order, the
     same fallback the planner applies (psum injection hooks do not fire on
     the fallback — there is no multi-piece accumulator to corrupt).
+
+    Without an ``inject`` hook the ``vector`` backend fuses the whole piece
+    accumulation into one direct GEMM — bit-identical on integer codes
+    (Fig. 5(d) plus associativity).  Whenever a hook is present, both
+    backends run the stepwise Algorithm 1 loop with identical per-piece
+    psum hook sites (only the per-piece partial maps are vectorized), so
+    injected faults land on the same live accumulators.
     """
     _check_conv_args(data, weights, stride, pad, groups)
     if inject is not None:
         data = inject.on_activation(data)
         weights = inject.on_weight(weights)
     if stride >= weights.shape[-1]:
-        out = reference_conv(data, weights, bias, stride, pad, groups)
+        out = reference_conv(data, weights, bias, stride, pad, groups, backend)
         if inject is not None:
             inject.on_output(out)
         return out
+    if inject is None and resolve_backend(backend) == "vector":
+        return reference_conv(data, weights, bias, stride, pad, groups, "vector")
     din = data.shape[0]
     dout = weights.shape[0]
     din_g = din // groups
@@ -227,7 +307,7 @@ def conv_via_partition(
     for g in range(groups):
         dslice = data[g * din_g : (g + 1) * din_g]
         wslice = weights[g * dout_g : (g + 1) * dout_g]
-        partials = partition_partial_maps(dslice, wslice, stride, pad)
+        partials = partition_partial_maps(dslice, wslice, stride, pad, backend)
         # Algorithm 1: accumulate r_{i/G} onto r_{(i-1)/G} in the output buffer
         acc = partials[0].copy()
         if inject is not None:
@@ -253,12 +333,20 @@ def conv_via_inter_improved(
     pad: int = 0,
     groups: int = 1,
     inject: Optional["SDCInjector"] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Convolution in the improved inter-kernel order (Sec 4.2.2).
 
     Outer loop over kernel elements ``(u, v)``; for each element the
     1/(k*k) partial sums of *all* output pixels and maps are add-and-stored
     onto the output buffer before the next element is visited.
+
+    The ``vector`` backend fuses all ``k*k`` add-and-store steps into one
+    GEMM — bit-identical on integer codes because integer addition is
+    associative.  When an ``inject`` hook is present the stepwise order is
+    always used (on either backend): the per-``(u, v)`` psum hook needs the
+    live accumulator after each step, which the fused GEMM never
+    materializes.
     """
     _check_conv_args(data, weights, stride, pad, groups)
     if inject is not None:
@@ -273,6 +361,19 @@ def conv_via_inter_improved(
     oh = conv_output_hw(padded.shape[1], k, stride, 0)
     ow = conv_output_hw(padded.shape[2], k, stride, 0)
     out = np.zeros((dout, oh, ow), dtype=np.result_type(data, weights))
+    if inject is None and resolve_backend(backend) == "vector":
+        for g in range(groups):
+            out[g * dout_g : (g + 1) * dout_g] = _gemm_conv_group(
+                padded[g * din_g : (g + 1) * din_g],
+                weights[g * dout_g : (g + 1) * dout_g],
+                k,
+                stride,
+                oh,
+                ow,
+            )
+        if bias is not None:
+            out += bias[:, None, None]
+        return out
     steps_total = k * k * groups
     for u in range(k):
         for v in range(k):

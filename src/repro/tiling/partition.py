@@ -138,12 +138,16 @@ def pad_data_for_partition(
 
     Applies the layer's own convolution padding symmetrically, then grows the
     bottom/right edge so the farthest sub-kernel offset stays in bounds.
+    When no padding is needed at all (``pad == 0`` and the scan already fits)
+    the input is returned unchanged — callers only read the result.
     """
     if data.ndim != 3:
         raise ShapeError(f"expected (D, H, W) tensor, got shape {data.shape}")
     _, h, w = data.shape
     _, ph = padded_input_extent(h, kernel, stride, pad)
     _, pw = padded_input_extent(w, kernel, stride, pad)
+    if pad == 0 and ph == h and pw == w:
+        return data
     padded = np.pad(
         data,
         (

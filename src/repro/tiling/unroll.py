@@ -76,19 +76,33 @@ def pad_input(data: np.ndarray, pad: int) -> np.ndarray:
     return np.pad(data, ((0, 0), (pad, pad), (pad, pad)))
 
 
-def im2col(data: np.ndarray, kernel: int, stride: int, pad: int = 0) -> np.ndarray:
+def im2col(
+    data: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+    backend: "str | None" = None,
+) -> np.ndarray:
     """Unroll a (D, H, W) tensor into a (oh*ow, D*k*k) matrix.
 
     Row ``r`` holds the receptive field of output pixel ``r`` (row-major over
     the output map), with the per-map ``k*k`` patches concatenated along the
     depth axis — the layout a software GEMM (Caffe-style) consumes.
+
+    Both backends produce byte-identical matrices (unrolling is pure data
+    movement); ``vector`` extracts every patch at once through a strided
+    window view instead of one Python-level copy per output pixel.
     """
     if data.ndim != 3:
         raise ShapeError(f"expected (D, H, W) tensor, got shape {data.shape}")
+    from repro.sim.backend import conv_window_view, resolve_backend, window_columns
+
     padded = pad_input(data, pad)
     d, h, w = padded.shape
     oh = conv_output_hw(h, kernel, stride, 0)
     ow = conv_output_hw(w, kernel, stride, 0)
+    if resolve_backend(backend) == "vector":
+        return window_columns(conv_window_view(padded, kernel, stride, oh, ow))
     rows = np.empty((oh * ow, d * kernel * kernel), dtype=padded.dtype)
     r = 0
     for oy in range(oh):

@@ -1,0 +1,171 @@
+"""On-disk persistence of the schedule cache (REPRO_PLAN_CACHE_DIR).
+
+A persisted cache must behave exactly like a warm in-memory cache across
+process boundaries: identical results (rebound to the caller), replayed
+negative entries, and graceful degradation — a corrupt or unwritable
+directory degrades to a cold cache, never to a crash or a wrong schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.errors import ScheduleError
+from repro.nn.layers import ConvLayer, TensorShape
+from repro.nn.network import LayerContext
+from repro.perf.cache import ScheduleCache
+
+
+def _ctx(name="conv1", k=11, s=4, hw=227, din=3, dout=96):
+    layer = ConvLayer(name, in_maps=din, out_maps=dout, kernel=k, stride=s)
+    in_shape = TensorShape(din, hw, hw)
+    return LayerContext(layer, in_shape, layer.output_shape(in_shape))
+
+
+class TestDiskRoundTrip:
+    def test_second_cache_hits_from_disk(self, tmp_path):
+        persist = str(tmp_path)
+        first = ScheduleCache(persist_dir=persist)
+        reference = first.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        assert first.stats().disk_writes == 1
+
+        # a fresh cache (new process stand-in) must warm-start from disk
+        second = ScheduleCache(persist_dir=persist)
+        result = second.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        stats = second.stats()
+        assert stats.disk_hits == 1
+        assert stats.hits == 1
+        assert stats.misses == 0
+        assert result.operations == reference.operations
+        assert result.accesses.keys() == reference.accesses.keys()
+
+    def test_disk_hit_rebinds_to_caller(self, tmp_path):
+        first = ScheduleCache(persist_dir=str(tmp_path))
+        first.get_or_schedule("partition", _ctx(name="conv1"), CONFIG_16_16)
+        second = ScheduleCache(persist_dir=str(tmp_path))
+        # same geometry, different layer name: disk hit, caller's name wins
+        renamed = second.get_or_schedule(
+            "partition", _ctx(name="conv5"), CONFIG_16_16
+        )
+        assert second.stats().disk_hits == 1
+        assert renamed.layer_name == "conv5"
+
+    def test_negative_entries_replay_from_disk(self, tmp_path):
+        # stride >= kernel cannot partition — a deterministic failure
+        bad = _ctx(k=2, s=3, hw=9, din=3, dout=4)
+        first = ScheduleCache(persist_dir=str(tmp_path))
+        with pytest.raises(ScheduleError):
+            first.get_or_schedule("partition", bad, CONFIG_16_16)
+        second = ScheduleCache(persist_dir=str(tmp_path))
+        with pytest.raises(ScheduleError):
+            second.get_or_schedule("partition", bad, CONFIG_16_16)
+        stats = second.stats()
+        assert stats.disk_hits == 1
+        assert stats.misses == 0
+
+    def test_clear_keeps_disk_entries(self, tmp_path):
+        cache = ScheduleCache(persist_dir=str(tmp_path))
+        cache.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        assert len(os.listdir(tmp_path)) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert len(os.listdir(tmp_path)) == 1  # directory is shared state
+        cache.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        assert cache.stats().disk_hits == 1
+
+
+class TestDegradation:
+    def test_corrupt_file_counts_error_and_replans(self, tmp_path):
+        first = ScheduleCache(persist_dir=str(tmp_path))
+        reference = first.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        (path,) = [tmp_path / f for f in os.listdir(tmp_path)]
+        path.write_bytes(b"not a pickle")
+
+        second = ScheduleCache(persist_dir=str(tmp_path))
+        result = second.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        stats = second.stats()
+        assert stats.disk_errors >= 1
+        assert stats.disk_hits == 0
+        assert stats.misses == 1  # re-planned from scratch
+        assert result.operations == reference.operations
+
+    def test_stale_format_version_is_a_miss(self, tmp_path):
+        first = ScheduleCache(persist_dir=str(tmp_path))
+        first.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        (path,) = [tmp_path / f for f in os.listdir(tmp_path)]
+        version, key, entry = pickle.loads(path.read_bytes())
+        path.write_bytes(pickle.dumps((version + 1, key, entry)))
+
+        second = ScheduleCache(persist_dir=str(tmp_path))
+        second.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        stats = second.stats()
+        assert stats.disk_hits == 0
+        assert stats.misses == 1
+
+    def test_key_mismatch_never_serves_wrong_entry(self, tmp_path):
+        first = ScheduleCache(persist_dir=str(tmp_path))
+        first.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        (path,) = [tmp_path / f for f in os.listdir(tmp_path)]
+        version, key, entry = pickle.loads(path.read_bytes())
+        # simulate a digest collision: stored key differs from the request
+        path.write_bytes(pickle.dumps((version, ("other",) + key[1:], entry)))
+
+        second = ScheduleCache(persist_dir=str(tmp_path))
+        second.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        assert second.stats().disk_hits == 0
+
+    def test_unwritable_dir_degrades_gracefully(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where a directory should be")
+        cache = ScheduleCache(persist_dir=str(target))
+        result = cache.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        assert result.operations > 0
+        stats = cache.stats()
+        assert stats.disk_errors >= 1
+        assert stats.disk_writes == 0
+
+    def test_disabled_when_no_dir_configured(self, tmp_path):
+        cache = ScheduleCache()
+        cache.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        stats = cache.stats()
+        assert stats.persist_dir is None
+        assert stats.disk_writes == 0
+
+
+class TestConfigure:
+    def test_configure_persist_dir_toggles(self, tmp_path):
+        cache = ScheduleCache()
+        cache.configure(persist_dir=str(tmp_path))
+        cache.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        assert cache.stats().disk_writes == 1
+        cache.configure(persist_dir="")
+        assert cache.stats().persist_dir is None
+        cache.clear()
+        cache.get_or_schedule("partition", _ctx(), CONFIG_16_16)
+        assert cache.stats().disk_writes == 0
+
+    def test_env_var_wires_global_cache(self, tmp_path):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.perf.cache import schedule_cache; "
+            "print(schedule_cache.persist_dir)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={
+                **os.environ,
+                "REPRO_PLAN_CACHE_DIR": str(tmp_path),
+                "PYTHONPATH": "src",
+            },
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert out.stdout.strip() == str(tmp_path)

@@ -1,0 +1,287 @@
+"""Backend registry semantics and loop-vs-vector bit identity.
+
+The ``vector`` backend's whole contract is that it is an *invisible*
+substitution for the ``loop`` oracle in the int64 code domain: outputs,
+partial maps, injected-fault hook firings and the resulting verdicts must
+be byte-identical.  These tests pin that contract on a seeded geometry
+grid covering every edge the schemes distinguish — 1x1 kernels, k == s,
+s > k (partition fallback), padding, and grouped convolution — plus the
+selection machinery itself (argument > set_backend > env var > default).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.integrity.sdc import SDCInjector
+from repro.resilience.faults import BITFLIP_SITES, seeded_bitflips
+from repro.sim import backend as backend_mod
+from repro.sim.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.sim.datapath import (
+    conv_codes_direct,
+    conv_codes_inter_improved,
+    conv_codes_partitioned,
+)
+from repro.sim.functional import (
+    conv_via_im2col,
+    conv_via_inter_improved,
+    conv_via_partition,
+    partition_partial_maps,
+    reference_conv,
+)
+from repro.tiling.unroll import im2col
+
+#: (k, s, pad, groups, din, dout, hw) — edge geometries named in the issue:
+#: 1x1, k == s, s > k, stride/pad combos, grouped
+EDGE_GRID = [
+    (1, 1, 0, 1, 3, 4, 6),  # 1x1 kernel
+    (2, 2, 0, 1, 3, 4, 8),  # k == s: partition degenerates
+    (2, 3, 0, 1, 3, 4, 9),  # s > k: partition falls back to reference
+    (3, 1, 1, 1, 3, 4, 8),
+    (3, 2, 1, 2, 4, 6, 9),  # grouped + stride + pad
+    (5, 2, 2, 1, 3, 6, 11),
+    (11, 4, 0, 1, 3, 8, 19),  # AlexNet conv1 class
+]
+
+PATHS = [
+    reference_conv,
+    conv_via_partition,
+    conv_via_im2col,
+    conv_via_inter_improved,
+]
+
+
+def code_tensors(k, s, pad, groups, din, dout, hw, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-(1 << 15), 1 << 15, (din, hw, hw), dtype=np.int64)
+    weights = rng.integers(
+        -(1 << 15), 1 << 15, (dout, din // groups, k, k), dtype=np.int64
+    )
+    bias = rng.integers(-(1 << 20), 1 << 20, (dout,), dtype=np.int64)
+    return data, weights, bias
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Leave the process-wide backend exactly as each test found it."""
+    previous = get_backend()
+    yield
+    set_backend(previous)
+
+
+class TestSelection:
+    def test_default_is_vector(self):
+        assert DEFAULT_BACKEND == "vector"
+        assert set(BACKENDS) == {"loop", "vector"}
+
+    def test_set_backend_returns_previous(self):
+        first = set_backend("loop")
+        assert get_backend() == "loop"
+        assert set_backend(first) == "loop"
+
+    def test_use_backend_restores_on_exit(self):
+        set_backend("vector")
+        with use_backend("loop") as active:
+            assert active == "loop"
+            assert get_backend() == "loop"
+        assert get_backend() == "vector"
+
+    def test_use_backend_restores_on_exception(self):
+        set_backend("vector")
+        with pytest.raises(RuntimeError):
+            with use_backend("loop"):
+                raise RuntimeError("boom")
+        assert get_backend() == "vector"
+
+    def test_explicit_argument_beats_active(self):
+        set_backend("loop")
+        assert resolve_backend("vector") == "vector"
+        assert resolve_backend(None) == "loop"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            set_backend("simd")
+        with pytest.raises(ConfigError):
+            resolve_backend("turbo")
+
+    def test_env_var_sets_initial_backend(self):
+        # first get_backend() in a fresh process resolves the env var
+        code = (
+            "from repro.sim.backend import get_backend; print(get_backend())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "REPRO_SIM_BACKEND": "loop"},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == "loop"
+
+    def test_bad_env_var_raises_on_first_use(self):
+        code = (
+            "from repro.errors import ConfigError\n"
+            "from repro.sim.backend import get_backend\n"
+            "try:\n"
+            "    get_backend()\n"
+            "except ConfigError:\n"
+            "    print('rejected')\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "REPRO_SIM_BACKEND": "nope"},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == "rejected"
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 3])
+    @pytest.mark.parametrize("k,s,pad,groups,din,dout,hw", EDGE_GRID)
+    def test_vector_matches_loop_on_every_path(
+        self, k, s, pad, groups, din, dout, hw, seed
+    ):
+        data, weights, bias = code_tensors(k, s, pad, groups, din, dout, hw, seed)
+        for path in PATHS:
+            loop_out = path(
+                data, weights, bias, stride=s, pad=pad, groups=groups, backend="loop"
+            )
+            vec_out = path(
+                data, weights, bias, stride=s, pad=pad, groups=groups, backend="vector"
+            )
+            assert loop_out.dtype == vec_out.dtype == np.int64
+            assert np.array_equal(loop_out, vec_out), (path.__name__, k, s, pad)
+
+    @pytest.mark.parametrize("k,s,pad", [(3, 1, 0), (3, 1, 1), (5, 2, 1), (11, 4, 0)])
+    def test_partial_maps_identical(self, k, s, pad):
+        data, weights, _ = code_tensors(k, s, pad, 1, 3, 4, 4 * k, seed=5)
+        loop_p = partition_partial_maps(data, weights, s, pad, backend="loop")
+        vec_p = partition_partial_maps(data, weights, s, pad, backend="vector")
+        assert np.array_equal(loop_p, vec_p)
+
+    @pytest.mark.parametrize("k,s,pad", [(3, 1, 1), (5, 2, 0), (2, 2, 0)])
+    def test_im2col_byte_identical_even_on_floats(self, k, s, pad):
+        # unrolling is pure data movement: float matrices must match to
+        # the byte, not merely allclose
+        rng = np.random.default_rng(9)
+        data = rng.standard_normal((3, 11, 11))
+        loop_m = im2col(data, k, s, pad, backend="loop")
+        vec_m = im2col(data, k, s, pad, backend="vector")
+        assert loop_m.dtype == vec_m.dtype == np.float64
+        assert np.array_equal(
+            loop_m.view(np.uint64), vec_m.view(np.uint64)
+        ), "im2col backends diverged at the byte level"
+
+    @pytest.mark.parametrize("k,s,pad,groups,din,dout,hw", EDGE_GRID[:5])
+    def test_float_paths_allclose_across_backends(
+        self, k, s, pad, groups, din, dout, hw
+    ):
+        # float operands only promise closeness (summation order differs)
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((din, hw, hw))
+        weights = rng.standard_normal((dout, din // groups, k, k))
+        for path in PATHS:
+            loop_out = path(data, weights, None, stride=s, pad=pad, groups=groups,
+                            backend="loop")
+            vec_out = path(data, weights, None, stride=s, pad=pad, groups=groups,
+                           backend="vector")
+            assert np.allclose(loop_out, vec_out), path.__name__
+
+    def test_process_wide_backend_is_honored(self):
+        data, weights, bias = code_tensors(3, 1, 1, 1, 3, 4, 8)
+        expected = reference_conv(data, weights, bias, pad=1, backend="loop")
+        set_backend("vector")
+        assert np.array_equal(reference_conv(data, weights, bias, pad=1), expected)
+        set_backend("loop")
+        assert np.array_equal(reference_conv(data, weights, bias, pad=1), expected)
+
+
+class TestInjectedFaultIdentity:
+    """Injected-fault hook firings and corrupted outputs must match exactly.
+
+    The psum hooks see live accumulators; if the vector backend changed
+    the accumulation structure, the same seeded flip would corrupt a
+    different value and the sweep verdicts would drift across backends.
+    """
+
+    INJECT_PATHS = [conv_via_partition, conv_via_im2col, conv_via_inter_improved]
+
+    @pytest.mark.parametrize("site", BITFLIP_SITES)
+    @pytest.mark.parametrize("k,s,pad,groups,din,dout,hw", EDGE_GRID[:6])
+    def test_corrupted_outputs_identical(self, k, s, pad, groups, din, dout, hw, site):
+        data, weights, bias = code_tensors(k, s, pad, groups, din, dout, hw, seed=1)
+        for pi, path in enumerate(self.INJECT_PATHS):
+            outs = {}
+            events = {}
+            for backend in BACKENDS:
+                fault = seeded_bitflips(k * 131 + s * 17 + pi, 1, sites=(site,))[0]
+                injector = SDCInjector([fault])
+                outs[backend] = path(
+                    data,
+                    weights,
+                    bias,
+                    stride=s,
+                    pad=pad,
+                    groups=groups,
+                    inject=injector,
+                    backend=backend,
+                )
+                # before/after capture the LIVE value at the hook site —
+                # equality here proves both backends expose the same
+                # accumulator state to the fault model, not just the same
+                # final output
+                events[backend] = [e.to_dict() for e in injector.events]
+            assert events["loop"] == events["vector"], (path.__name__, site)
+            assert np.array_equal(outs["loop"], outs["vector"]), (
+                path.__name__,
+                site,
+            )
+
+
+class TestDatapathIdentity:
+    """The 16-bit integer datapath paths are backend-identical too."""
+
+    DP_PATHS = [conv_codes_direct, conv_codes_partitioned, conv_codes_inter_improved]
+
+    @pytest.mark.parametrize("k,s,pad", [(3, 1, 1), (5, 2, 1), (2, 2, 0), (11, 4, 0)])
+    def test_codes_identical_across_backends(self, k, s, pad):
+        rng = np.random.default_rng(4)
+        data = rng.integers(-(1 << 7), 1 << 7, (3, 4 * k, 4 * k), dtype=np.int64)
+        weights = rng.integers(-(1 << 7), 1 << 7, (4, 3, k, k), dtype=np.int64)
+        bias = rng.integers(-(1 << 7), 1 << 7, (4,), dtype=np.int64)
+        for path in self.DP_PATHS:
+            loop_out = path(data, weights, bias, stride=s, pad=pad, backend="loop")
+            vec_out = path(data, weights, bias, stride=s, pad=pad, backend="vector")
+            assert np.array_equal(loop_out, vec_out), path.__name__
+
+
+class TestPrimitives:
+    def test_window_columns_matches_loop_im2col_layout(self):
+        data = np.arange(2 * 6 * 6, dtype=np.int64).reshape(2, 6, 6)
+        loop_m = im2col(data, 3, 2, 1, backend="loop")
+        win = backend_mod.conv_window_view(
+            np.pad(data, ((0, 0), (1, 1), (1, 1))), 3, 2, 3, 3
+        )
+        assert np.array_equal(backend_mod.window_columns(win), loop_m)
+
+    def test_conv_window_view_is_a_view(self):
+        data = np.zeros((1, 8, 8))
+        win = backend_mod.conv_window_view(data, 3, 1, 6, 6)
+        assert win.base is not None
+        data[0, 0, 0] = 7.0
+        assert win[0, 0, 0, 0, 0] == 7.0

@@ -55,25 +55,35 @@ def code_tensors(k, s, pad, groups, din, dout, hw, seed):
 
 
 class TestBitIdenticalEquivalence:
+    @pytest.mark.parametrize("backend", ["loop", "vector"])
     @pytest.mark.parametrize("seed", [0, 1, 2])
     @pytest.mark.parametrize("k,s,pad,groups,din,dout,hw", GRID)
     def test_all_paths_match_reference_exactly(
-        self, k, s, pad, groups, din, dout, hw, seed
+        self, k, s, pad, groups, din, dout, hw, seed, backend
     ):
         data, weights, bias = code_tensors(k, s, pad, groups, din, dout, hw, seed)
-        ref = reference_conv(data, weights, bias, stride=s, pad=pad, groups=groups)
+        ref = reference_conv(
+            data, weights, bias, stride=s, pad=pad, groups=groups, backend=backend
+        )
         assert ref.dtype == np.int64
         for path in PATHS:
-            out = path(data, weights, bias, stride=s, pad=pad, groups=groups)
+            out = path(
+                data, weights, bias, stride=s, pad=pad, groups=groups, backend=backend
+            )
             assert out.dtype == np.int64, path.__name__
             assert np.array_equal(out, ref), (path.__name__, k, s, pad, groups)
 
+    @pytest.mark.parametrize("backend", ["loop", "vector"])
     @pytest.mark.parametrize("k,s,pad,groups,din,dout,hw", GRID[:6])
-    def test_no_bias_also_exact(self, k, s, pad, groups, din, dout, hw):
+    def test_no_bias_also_exact(self, k, s, pad, groups, din, dout, hw, backend):
         data, weights, _ = code_tensors(k, s, pad, groups, din, dout, hw, seed=7)
-        ref = reference_conv(data, weights, None, stride=s, pad=pad, groups=groups)
+        ref = reference_conv(
+            data, weights, None, stride=s, pad=pad, groups=groups, backend=backend
+        )
         for path in PATHS:
-            out = path(data, weights, None, stride=s, pad=pad, groups=groups)
+            out = path(
+                data, weights, None, stride=s, pad=pad, groups=groups, backend=backend
+            )
             assert np.array_equal(out, ref), path.__name__
 
 

@@ -136,3 +136,19 @@ class TestPaddedExtent:
     def test_rejects_non_3d(self):
         with pytest.raises(ShapeError):
             pad_data_for_partition(np.ones((4, 4)), 3, 1, 0)
+
+    def test_zero_pad_returns_input_unchanged(self):
+        """Regression: no copy when neither conv nor scan padding is needed.
+
+        k=3, s=1 on a 9-wide map: (7-1)*1 + 3 = 9 — the scan already fits,
+        so the exact input array must come back (identity, not a copy).
+        """
+        data = np.ones((2, 9, 9))
+        assert pad_data_for_partition(data, kernel=3, stride=1, pad=0) is data
+
+    def test_zero_conv_pad_still_pads_for_scan_when_needed(self):
+        # k=11, s=4 on 227: scan reach is 228 — a copy is unavoidable here
+        data = np.ones((1, 227, 227))
+        padded = pad_data_for_partition(data, kernel=11, stride=4, pad=0)
+        assert padded is not data
+        assert padded.shape == (1, 228, 228)
