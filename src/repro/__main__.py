@@ -12,6 +12,11 @@ select NETWORK [--config 16-16] [--json]
 serve [--mix alexnet:2,vgg:1] [--rate 100] [--duration 10] ...
     Simulate a multi-tenant serving tier with dynamic batching and
     SLO accounting (see ``docs/serving.md``).
+autoscale [--base-rate 6] [--peak-rate 42] [--days 3] [--compare] ...
+    Drive the serving fleet with the closed-loop autoscaler over a
+    multi-day diurnal workload with flash crowds; ``--compare`` adds
+    the static mean-/peak-provisioned baselines (see
+    ``docs/autoscaling.md``).
 shard NETWORK [--chips 4] [--strategy pipeline|data-parallel] ...
     Partition a network across multiple accelerator chips with an
     inter-chip link model (see ``docs/sharding.md``).
@@ -229,6 +234,157 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
+        print(f"\nmetrics JSON written to {args.json}")
+    return 0
+
+
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.serve import (
+        BatchCoster,
+        BatchPolicy,
+        QueuePolicy,
+        diurnal_arrivals,
+        parse_mix,
+        render_summary,
+    )
+    from repro.control import (
+        AutoscalePolicy,
+        ControlLoop,
+        VerifierPolicy,
+        run_static,
+        static_fleet_sizes,
+    )
+    from repro.serve.metrics import to_json
+
+    config = named_config(args.config)
+    tenants = parse_mix(args.mix, slo_ms=args.slo_ms)
+    duration = args.days * args.day_s
+    flash = []
+    for spec in args.flash:
+        try:
+            start, dur, factor = (float(x) for x in spec.split(":"))
+        except ValueError:
+            raise ConfigError(
+                f"bad --flash {spec!r}; expected START:DURATION:FACTOR"
+            ) from None
+        flash.append((start, dur, factor))
+    requests = diurnal_arrivals(
+        args.base_rate,
+        args.peak_rate,
+        args.days,
+        tenants,
+        seed=args.seed,
+        day_s=args.day_s,
+        flash_crowds=flash,
+        flash_per_day=args.flash_per_day,
+        flash_factor=args.flash_factor,
+        churn=args.churn,
+    )
+    coster = BatchCoster(config, policy=args.policy)
+    autoscale = AutoscalePolicy(
+        epoch_s=args.epoch_s,
+        min_replicas=args.min_replicas,
+        max_replicas=args.max_replicas,
+        high_band=args.high_band,
+        low_band=args.low_band,
+        cooldown_epochs=args.cooldown,
+        headroom=args.headroom,
+        retune=not args.no_retune,
+    )
+    loop = ControlLoop(
+        config,
+        tenants,
+        autoscale=autoscale,
+        verifier=VerifierPolicy(),
+        batch_policy=BatchPolicy(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        ),
+        queue_policy=QueuePolicy(max_depth=args.queue_depth),
+        replicas=args.replicas,
+        plan_policy=args.policy,
+        coster=coster,
+    )
+    meta = {
+        "arrival": "diurnal",
+        "mix": args.mix,
+        "base_rate_rps": args.base_rate,
+        "peak_rate_rps": args.peak_rate,
+        "days": args.days,
+        "day_s": args.day_s,
+        "seed": args.seed,
+        "slo_ms": args.slo_ms,
+    }
+    report = loop.run(requests, duration, extra_meta=meta)
+    payload = dict(report.summary)
+
+    if args.compare:
+        mean_rate = len(requests) / duration
+        peak_inst = args.peak_rate * max(
+            [args.flash_factor if args.flash_per_day else 1.0]
+            + [f for _, _, f in flash]
+        )
+        mean_n, peak_n = static_fleet_sizes(
+            coster, tenants, mean_rate, peak_inst, args.max_batch
+        )
+        baselines = {}
+        for name, n in (("static_mean", mean_n), ("static_peak", peak_n)):
+            static_report, chip = run_static(
+                config,
+                requests,
+                duration,
+                n,
+                batch_policy=BatchPolicy(
+                    max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+                ),
+                queue_policy=QueuePolicy(max_depth=args.queue_depth),
+                plan_policy=args.policy,
+                coster=coster,
+            )
+            baselines[name] = {
+                "replicas": n,
+                "deadline_hit_rate": static_report.summary["deadline_hit_rate"],
+                "shed": static_report.summary["shed"],
+                "chip_seconds": round(chip, 6),
+            }
+        payload["baselines"] = baselines
+
+    if args.json == "-":
+        print(to_json(payload), end="")
+        return 0
+    print(render_summary(report.summary))
+    control = report.summary["control"]
+    print()
+    print("autoscaler:")
+    print(f"  epochs               {control['n_epochs']}")
+    actions = ", ".join(
+        f"{k}={v}" for k, v in control["actions_by_kind"].items()
+    ) or "none"
+    print(f"  actions              {actions}")
+    verdicts = ", ".join(
+        f"{k}={v}" for k, v in control["verdicts_by_status"].items()
+    ) or "none"
+    print(f"  verdicts             {verdicts}")
+    print(f"  oscillation freezes  {len(control['freezes'])}")
+    fleet = report.summary["fleet"]
+    print(
+        f"  fleet                peak {fleet['peak_replicas']}, "
+        f"final {fleet['final_replicas']}, "
+        f"{fleet['chip_seconds']:.1f} chip-seconds"
+    )
+    if args.compare:
+        print()
+        print("vs static provisioning:")
+        for name, stats in payload["baselines"].items():
+            print(
+                f"  {name:<12s} {stats['replicas']:>2d} replicas  "
+                f"hit {stats['deadline_hit_rate']:.4f}  "
+                f"shed {stats['shed']:>5d}  "
+                f"{stats['chip_seconds']:.1f} chip-seconds"
+            )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(to_json(payload))
         print(f"\nmetrics JSON written to {args.json}")
     return 0
 
@@ -757,6 +913,78 @@ def main(argv=None) -> int:
         help="write the metrics JSON here ('-' = stdout only)",
     )
 
+    p_auto = sub.add_parser(
+        "autoscale",
+        help="closed-loop autoscaling over a diurnal flash-crowd workload",
+        parents=[perf_opts],
+    )
+    p_auto.add_argument(
+        "--mix",
+        default="vgg:3,alexnet:1",
+        help='tenant mix, e.g. "vgg:3,alexnet:1" (weights are traffic shares)',
+    )
+    p_auto.add_argument("--base-rate", type=float, default=6.0, help="night-trough rate, req/s")
+    p_auto.add_argument("--peak-rate", type=float, default=42.0, help="mid-day crest rate, req/s")
+    p_auto.add_argument("--days", type=float, default=3.0, help="simulated days")
+    p_auto.add_argument(
+        "--day-s", type=float, default=100.0, help="seconds per simulated day (compressed)"
+    )
+    p_auto.add_argument(
+        "--flash",
+        action="append",
+        default=[],
+        metavar="START:DURATION:FACTOR",
+        help="explicit flash-crowd window (repeatable)",
+    )
+    p_auto.add_argument(
+        "--flash-per-day", type=float, default=1.0, help="seeded random flash crowds per day"
+    )
+    p_auto.add_argument(
+        "--flash-factor", type=float, default=3.0, help="rate multiplier of seeded flashes"
+    )
+    p_auto.add_argument("--churn", type=float, default=0.0, help="tenant-mix churn in [0,1)")
+    p_auto.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    p_auto.add_argument("--slo-ms", type=float, default=600.0, help="per-request latency SLO")
+    p_auto.add_argument("--epoch-s", type=float, default=2.0, help="control epoch, simulated s")
+    p_auto.add_argument("--replicas", type=int, default=1, help="initial fleet size")
+    p_auto.add_argument("--min-replicas", type=int, default=1)
+    p_auto.add_argument("--max-replicas", type=int, default=12)
+    p_auto.add_argument(
+        "--high-band", type=float, default=0.8, help="scale-up band: windowed p95 over SLO"
+    )
+    p_auto.add_argument(
+        "--low-band", type=float, default=0.35, help="scale-down band: windowed p95 over SLO"
+    )
+    p_auto.add_argument(
+        "--cooldown", type=int, default=2, help="epochs to hold after a scale action"
+    )
+    p_auto.add_argument(
+        "--headroom", type=float, default=0.25, help="capacity headroom when demand-sizing"
+    )
+    p_auto.add_argument(
+        "--no-retune",
+        action="store_true",
+        help="freeze max-batch/max-wait instead of retuning them",
+    )
+    p_auto.add_argument("--max-batch", type=int, default=16, help="initial dynamic-batching cap")
+    p_auto.add_argument(
+        "--max-wait-ms", type=float, default=10.0, help="initial partial-batch timeout"
+    )
+    p_auto.add_argument("--queue-depth", type=int, default=256, help="admission queue bound")
+    p_auto.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run static mean-/peak-provisioned baselines",
+    )
+    p_auto.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
+    p_auto.add_argument("--config", default="16-16")
+    p_auto.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the metrics JSON here ('-' = stdout only)",
+    )
+
     p_shard = sub.add_parser(
         "shard",
         help="partition a network across multiple accelerator chips",
@@ -892,6 +1120,7 @@ def main(argv=None) -> int:
         "simulate": cmd_simulate,
         "networks": cmd_networks,
         "serve": cmd_serve,
+        "autoscale": cmd_autoscale,
         "shard": cmd_shard,
         "chaos": cmd_chaos,
         "integrity": cmd_integrity,

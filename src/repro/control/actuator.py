@@ -1,0 +1,123 @@
+"""The actuator: applies planner decisions to the live serving engine.
+
+The actuator is the only component that mutates the
+:class:`~repro.serve.engine.AdaptiveServingEngine`.  It translates each
+abstract :class:`~repro.control.policy.Action` into concrete engine calls
+at the epoch boundary — provisioning replicas, draining specific rids,
+swapping the live :class:`~repro.serve.batcher.BatchPolicy` — and returns
+an *applied* record per action (which rids were added/drained, whether the
+action was clipped by fleet bounds) that the verifier turns into an
+expectation to check.
+
+Scale-down picks victims deterministically: the highest-rid active
+replicas drain first (LIFO — the newest provisioned chip is the first
+released), so reruns retire identical rids.  A drain/repair action is a
+drain plus a one-for-one replacement add, keeping fleet capacity constant
+through the repair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+from repro.serve.batcher import BatchPolicy
+from repro.serve.engine import AdaptiveServingEngine
+from repro.control.policy import Action
+
+__all__ = ["Actuator", "AppliedAction"]
+
+
+class AppliedAction:
+    """One action's concrete effect on the engine."""
+
+    def __init__(
+        self,
+        action: Action,
+        added: Sequence[int] = (),
+        drained: Sequence[int] = (),
+        clipped: bool = False,
+        note: str = "",
+    ) -> None:
+        self.action = action
+        self.added = list(added)
+        self.drained = list(drained)
+        self.clipped = clipped
+        self.note = note
+
+    def to_dict(self) -> Dict[str, object]:
+        out = self.action.to_dict()
+        out["added"] = self.added
+        out["drained"] = self.drained
+        if self.clipped:
+            out["clipped"] = True
+        if self.note:
+            out["note"] = self.note
+        return out
+
+
+class Actuator:
+    """Applies a batch of actions to one engine at an epoch boundary."""
+
+    def __init__(self, engine: AdaptiveServingEngine) -> None:
+        self.engine = engine
+
+    def apply(self, actions: Sequence[Action]) -> List[AppliedAction]:
+        applied = []
+        for action in actions:
+            applied.append(self._apply_one(action))
+        return applied
+
+    def _drain_victims(self, count: int) -> List[int]:
+        """Highest-rid active replicas first (deterministic LIFO)."""
+        active = sorted((r.rid for r in self.engine.active_replicas()), reverse=True)
+        return active[:count]
+
+    def _apply_one(self, action: Action) -> AppliedAction:
+        engine = self.engine
+        if action.kind == "scale-up":
+            if action.target is None:
+                raise ConfigError("scale-up action needs a target")
+            need = action.target - engine.n_active()
+            added = [engine.add_replica() for _ in range(max(0, need))]
+            return AppliedAction(action, added=added, clipped=need <= 0)
+        if action.kind == "scale-down":
+            if action.target is None:
+                raise ConfigError("scale-down action needs a target")
+            need = engine.n_active() - action.target
+            drained: List[int] = []
+            for rid in self._drain_victims(max(0, need)):
+                if engine.n_active() <= 1:
+                    break  # never strand queued work
+                engine.drain_replica(rid, reason="scale-down")
+                drained.append(rid)
+            return AppliedAction(
+                action, drained=drained, clipped=len(drained) < max(0, need)
+            )
+        if action.kind == "drain":
+            if action.replica is None:
+                raise ConfigError("drain action needs a replica")
+            state = next(
+                (r for r in engine.replicas if r.rid == action.replica), None
+            )
+            if state is None or not state.active:
+                return AppliedAction(
+                    action, clipped=True, note="replica already gone"
+                )
+            # one-for-one repair: provision the replacement first so the
+            # drain never trips the last-active guard
+            replacement = engine.add_replica()
+            engine.drain_replica(action.replica, reason="unhealthy")
+            return AppliedAction(
+                action, added=[replacement], drained=[action.replica]
+            )
+        if action.kind == "retune":
+            if action.max_batch is None or action.max_wait_ms is None:
+                raise ConfigError("retune action needs max_batch and max_wait_ms")
+            engine.set_batch_policy(
+                BatchPolicy(
+                    max_batch=action.max_batch, max_wait_ms=action.max_wait_ms
+                )
+            )
+            return AppliedAction(action)
+        raise ConfigError(f"unknown action kind {action.kind!r}")

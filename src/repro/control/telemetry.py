@@ -1,0 +1,222 @@
+"""The detector: sliding-window telemetry over the serving event stream.
+
+A :class:`Detector` is stepped once per control epoch.  Each step reduces
+everything that *happened* in the window ``(prev_epoch_end, epoch_end]`` —
+completions are assigned to the window their ``finish_s`` falls in, never
+the window they were dispatched in — into one :class:`WindowStats` record:
+latency percentiles against each tenant's SLO, shed and deadline-miss
+rates, queue depth at the boundary, per-replica utilization and
+observed/expected service ratios (the health signal the planner's drain
+rule consumes, mirroring :class:`repro.serve.failover.HealthChecker`'s
+``slow_threshold``).
+
+Window assignment is exact: every completion lands in exactly one window
+(finish times are strictly greater than the dispatch instant, and the
+engine never runs past the boundary the controller asked for), and shed /
+arrival counters are cumulative-delta based, so summing any column over
+the windows reproduces the run totals.  All floats are rounded the same
+way :mod:`repro.serve.metrics` rounds, so the telemetry log is byte-stable
+across reruns at a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.serve.engine import AdaptiveServingEngine
+from repro.serve.metrics import RequestRecord, percentile
+from repro.serve.workload import TenantSpec
+
+__all__ = ["Detector", "WindowStats"]
+
+
+def _round(x: float) -> float:
+    return round(x, 6)
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Everything the planner may look at for one control epoch."""
+
+    epoch: int
+    start_s: float
+    end_s: float
+    #: arrivals processed in the window (admitted + shed)
+    arrivals: int
+    #: completions whose finish fell inside the window
+    completed: int
+    shed: int
+    #: completions that met their deadline
+    deadline_met: int
+    queue_depth: int
+    active_replicas: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    #: worst per-tenant p95 latency over that tenant's SLO (1.0 = at SLO);
+    #: the planner's primary pressure signal
+    slo_p95_frac: float
+    shed_rate: float
+    #: fleet busy chip-seconds over provisioned chip-seconds in the window
+    utilization: float
+    arrival_rate_rps: float
+    #: per-network share of the window's arrivals-by-completion mix
+    network_mix: Dict[str, float] = field(default_factory=dict)
+    #: per-replica max observed/expected batch service ratio (1.0 = healthy)
+    replica_service_ratio: Dict[int, float] = field(default_factory=dict)
+    #: per-replica batches completing in the window (sample size for ratios)
+    replica_batches: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        offered = self.completed + self.shed
+        return self.deadline_met / offered if offered else 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "start_ms": _round(self.start_s * 1e3),
+            "end_ms": _round(self.end_s * 1e3),
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "shed": self.shed,
+            "deadline_met": self.deadline_met,
+            "queue_depth": self.queue_depth,
+            "active_replicas": self.active_replicas,
+            "p50_ms": _round(self.p50_ms),
+            "p95_ms": _round(self.p95_ms),
+            "p99_ms": _round(self.p99_ms),
+            "slo_p95_frac": _round(self.slo_p95_frac),
+            "shed_rate": _round(self.shed_rate),
+            "utilization": _round(self.utilization),
+            "arrival_rate_rps": _round(self.arrival_rate_rps),
+            "network_mix": {
+                k: _round(v) for k, v in sorted(self.network_mix.items())
+            },
+            "replica_service_ratio": {
+                str(rid): _round(v)
+                for rid, v in sorted(self.replica_service_ratio.items())
+            },
+        }
+
+
+class Detector:
+    """Incrementally windows an :class:`AdaptiveServingEngine`'s metrics.
+
+    The detector holds an index into the engine's append-only completion
+    list plus cumulative shed/arrival snapshots, so each :meth:`observe`
+    touches only the records produced since the previous epoch.  Records
+    dispatched in this window but finishing in a later one are parked in a
+    small pending list until their window closes.
+    """
+
+    def __init__(
+        self,
+        engine: AdaptiveServingEngine,
+        tenants: Sequence[TenantSpec],
+    ) -> None:
+        self.engine = engine
+        self.slo_ms = {t.name: t.slo_ms for t in tenants}
+        self._ci = 0
+        self._prev_end = 0.0
+        self._prev_shed = 0
+        self._prev_arrivals = 0
+        self._epoch = 0
+        #: dispatched records whose finish time lies beyond the last
+        #: observed boundary, ordered by (finish_s, rid)
+        self._inflight: List[RequestRecord] = []
+
+    def observe(self, t_end: float) -> WindowStats:
+        """Reduce the window ``(prev_end, t_end]`` to one stats record."""
+        if t_end <= self._prev_end and self._epoch:
+            raise ConfigError(
+                f"observe({t_end!r}) does not advance past {self._prev_end!r}"
+            )
+        engine = self.engine
+        completed = engine.metrics.completed
+        fresh = completed[self._ci :]
+        self._ci = len(completed)
+        self._inflight.extend(fresh)
+        self._inflight.sort(key=lambda r: (r.finish_s, r.rid))
+        cut = 0
+        for record in self._inflight:
+            if record.finish_s <= t_end:
+                cut += 1
+            else:
+                break
+        window = self._inflight[:cut]
+        self._inflight = self._inflight[cut:]
+
+        shed_total = engine.metrics.shed_total
+        shed = shed_total - self._prev_shed
+        self._prev_shed = shed_total
+        arrivals = engine.offered - self._prev_arrivals
+        self._prev_arrivals = engine.offered
+
+        start_s = self._prev_end
+        span = t_end - start_s
+        latencies = [r.latency_s * 1e3 for r in window]
+        met = sum(1 for r in window if r.met_deadline)
+
+        # worst per-tenant p95 over that tenant's SLO
+        slo_frac = 0.0
+        by_tenant: Dict[str, List[float]] = {}
+        for r in window:
+            by_tenant.setdefault(r.tenant, []).append(r.latency_s * 1e3)
+        for tenant, values in by_tenant.items():
+            slo = self.slo_ms.get(tenant)
+            if slo:
+                slo_frac = max(slo_frac, percentile(values, 95) / slo)
+
+        # per-replica health: max observed/expected service ratio over the
+        # window's batches (one batch = one distinct (replica, start) pair)
+        batches: Dict[Tuple[int, float], RequestRecord] = {}
+        for r in window:
+            batches.setdefault((r.replica, r.start_s), r)
+        ratios: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for (rid, _), r in sorted(batches.items()):
+            expected = engine.coster.batch_seconds(r.network, r.batch_size)
+            if expected > 0:
+                ratio = r.service_s / expected
+                ratios[rid] = max(ratios.get(rid, 0.0), ratio)
+                counts[rid] = counts.get(rid, 0) + 1
+
+        mix_counts: Dict[str, int] = {}
+        for r in window:
+            mix_counts[r.network] = mix_counts.get(r.network, 0) + 1
+        total_mix = sum(mix_counts.values())
+
+        busy = sum(engine.busy_overlap(start_s, t_end).values())
+        provisioned = engine.provisioned_overlap(start_s, t_end)
+
+        stats = WindowStats(
+            epoch=self._epoch,
+            start_s=start_s,
+            end_s=t_end,
+            arrivals=arrivals,
+            completed=len(window),
+            shed=shed,
+            deadline_met=met,
+            queue_depth=engine.queue_depth(),
+            active_replicas=engine.n_active(),
+            p50_ms=percentile(latencies, 50),
+            p95_ms=percentile(latencies, 95),
+            p99_ms=percentile(latencies, 99),
+            slo_p95_frac=slo_frac,
+            shed_rate=shed / arrivals if arrivals else 0.0,
+            utilization=busy / provisioned if provisioned else 0.0,
+            arrival_rate_rps=arrivals / span if span else 0.0,
+            network_mix={
+                k: v / total_mix for k, v in mix_counts.items()
+            }
+            if total_mix
+            else {},
+            replica_service_ratio=ratios,
+            replica_batches=counts,
+        )
+        self._prev_end = t_end
+        self._epoch += 1
+        return stats

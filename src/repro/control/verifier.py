@@ -1,0 +1,188 @@
+"""The verifier: closes the loop behind the actuator.
+
+Two jobs, both fed back into the planner:
+
+* **action verification** — every applied action registers an expectation
+  (fleet size reached, replica actually retired, batcher knobs live) with
+  a deadline of ``verify_deadline_epochs``.  At each epoch boundary the
+  verifier resolves expectations against the engine's real state; an
+  expectation that misses its deadline is reported as *failed* (and the
+  planner sees the failure kinds in its feedback).  In this simulator
+  actuation is synchronous so failures indicate a control-plane bug — the
+  check is the point: the loop never *assumes* an action took effect;
+* **oscillation guard** — scale direction flips (up followed by down or
+  vice versa) inside a sliding window of epochs are counted; at
+  ``max_flips`` the verifier freezes scaling for ``freeze_epochs`` via
+  :class:`~repro.control.policy.PlannerFeedback`.  A policy whose bands
+  are mis-tuned then degrades to a static fleet instead of thrashing
+  chips on every epoch.
+
+The verdict log (confirmed/failed, epochs waited, freezes) is part of the
+decisions log and byte-stable across reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.serve.engine import AdaptiveServingEngine
+from repro.control.actuator import AppliedAction
+from repro.control.policy import PlannerFeedback
+
+__all__ = ["Verifier", "VerifierPolicy", "Expectation"]
+
+
+@dataclass(frozen=True)
+class VerifierPolicy:
+    """Deadlines and oscillation-guard knobs."""
+
+    #: epochs an action may take to become visible in the fleet state
+    verify_deadline_epochs: int = 1
+    #: scale-direction flips within ``oscillation_window`` that trip the guard
+    max_flips: int = 3
+    oscillation_window: int = 8
+    #: epochs scaling stays frozen once the guard trips
+    freeze_epochs: int = 6
+
+    def __post_init__(self) -> None:
+        if self.verify_deadline_epochs < 0:
+            raise ConfigError(
+                f"verify_deadline_epochs must be >= 0, "
+                f"got {self.verify_deadline_epochs!r}"
+            )
+        if self.max_flips < 1:
+            raise ConfigError(f"max_flips must be >= 1, got {self.max_flips!r}")
+        if self.oscillation_window < 2:
+            raise ConfigError(
+                f"oscillation_window must be >= 2, got {self.oscillation_window!r}"
+            )
+        if self.freeze_epochs < 1:
+            raise ConfigError(
+                f"freeze_epochs must be >= 1, got {self.freeze_epochs!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "verify_deadline_epochs": self.verify_deadline_epochs,
+            "max_flips": self.max_flips,
+            "oscillation_window": self.oscillation_window,
+            "freeze_epochs": self.freeze_epochs,
+        }
+
+
+@dataclass
+class Expectation:
+    """One applied action's postcondition, pending until resolved."""
+
+    kind: str
+    registered_epoch: int
+    deadline_epoch: int
+    #: fleet-size actions: expected active count
+    target: Optional[int] = None
+    #: drain actions: rid that must be retired
+    replica: Optional[int] = None
+    #: retune actions: expected live knobs
+    max_batch: Optional[int] = None
+
+    def satisfied(self, engine: AdaptiveServingEngine) -> bool:
+        if self.kind in ("scale-up", "scale-down"):
+            return engine.n_active() == self.target
+        if self.kind == "drain":
+            state = next(
+                (r for r in engine.replicas if r.rid == self.replica), None
+            )
+            return state is None or not state.active
+        if self.kind == "retune":
+            return engine.batch_policy.max_batch == self.max_batch
+        return False
+
+
+class Verifier:
+    """Resolves expectations and guards against oscillation."""
+
+    def __init__(self, policy: VerifierPolicy = VerifierPolicy()) -> None:
+        self.policy = policy
+        self._pending: List[Expectation] = []
+        #: (epoch, +1 for up / -1 for down) scale-direction history
+        self._directions: List[tuple] = []
+        self._frozen_until = -1
+        #: resolved verdicts, in resolution order (part of the decisions log)
+        self.verdicts: List[Dict[str, object]] = []
+        self.freezes: List[Dict[str, object]] = []
+
+    def register(self, applied: Sequence[AppliedAction], epoch: int) -> None:
+        """Turn applied actions into pending expectations."""
+        for app in applied:
+            action = app.action
+            expectation = Expectation(
+                kind=action.kind,
+                registered_epoch=epoch,
+                deadline_epoch=epoch + self.policy.verify_deadline_epochs,
+            )
+            if action.kind in ("scale-up", "scale-down"):
+                self._directions.append(
+                    (epoch, 1 if action.kind == "scale-up" else -1)
+                )
+                if app.clipped:
+                    continue  # fleet bounds clipped it; no exact target holds
+                expectation.target = action.target
+            elif action.kind == "drain":
+                if app.clipped:
+                    continue  # nothing to verify; replica was already gone
+                expectation.replica = action.replica
+            elif action.kind == "retune":
+                expectation.max_batch = action.max_batch
+            self._pending.append(expectation)
+
+    def check(self, engine: AdaptiveServingEngine, epoch: int) -> PlannerFeedback:
+        """Resolve pending expectations; return the planner's feedback."""
+        failed_kinds: List[str] = []
+        still_pending: List[Expectation] = []
+        for exp in self._pending:
+            if exp.satisfied(engine):
+                self.verdicts.append(
+                    {
+                        "kind": exp.kind,
+                        "epoch": exp.registered_epoch,
+                        "status": "confirmed",
+                        "epochs_waited": epoch - exp.registered_epoch,
+                    }
+                )
+            elif epoch > exp.deadline_epoch:
+                self.verdicts.append(
+                    {
+                        "kind": exp.kind,
+                        "epoch": exp.registered_epoch,
+                        "status": "failed",
+                        "epochs_waited": epoch - exp.registered_epoch,
+                    }
+                )
+                failed_kinds.append(exp.kind)
+            else:
+                still_pending.append(exp)
+        self._pending = still_pending
+
+        # oscillation guard over the recent direction history
+        window_start = epoch - self.policy.oscillation_window
+        recent = [d for d in self._directions if d[0] > window_start]
+        self._directions = recent
+        flips = sum(
+            1
+            for a, b in zip(recent, recent[1:])
+            if a[1] != b[1]
+        )
+        if flips >= self.policy.max_flips and epoch > self._frozen_until:
+            self._frozen_until = epoch + self.policy.freeze_epochs
+            self.freezes.append(
+                {
+                    "epoch": epoch,
+                    "until_epoch": self._frozen_until,
+                    "flips": flips,
+                }
+            )
+        return PlannerFeedback(
+            frozen_until_epoch=self._frozen_until,
+            failed_kinds=sorted(failed_kinds),
+        )

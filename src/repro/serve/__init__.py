@@ -33,7 +33,14 @@ See ``docs/serving.md`` for the queueing model and the metrics glossary.
 """
 
 from repro.serve.batcher import BatchCoster, BatchPolicy
-from repro.serve.engine import ReplicaState, ServingEngine, ServingReport, ROUTING_KINDS
+from repro.serve.engine import (
+    AdaptiveReplica,
+    AdaptiveServingEngine,
+    ReplicaState,
+    ServingEngine,
+    ServingReport,
+    ROUTING_KINDS,
+)
 from repro.serve.failover import (
     FAULT_KINDS,
     FailoverEngine,
@@ -56,6 +63,8 @@ from repro.serve.workload import (
     Request,
     TenantSpec,
     bursty_arrivals,
+    diurnal_arrivals,
+    diurnal_rate,
     parse_mix,
     poisson_arrivals,
     trace_arrivals,
@@ -63,6 +72,8 @@ from repro.serve.workload import (
 
 __all__ = [
     "ARRIVAL_KINDS",
+    "AdaptiveReplica",
+    "AdaptiveServingEngine",
     "AdmissionQueue",
     "BatchCoster",
     "BatchPolicy",
@@ -87,6 +98,8 @@ __all__ = [
     "VerificationPolicy",
     "VerifiedReplica",
     "bursty_arrivals",
+    "diurnal_arrivals",
+    "diurnal_rate",
     "parse_mix",
     "percentile",
     "poisson_arrivals",

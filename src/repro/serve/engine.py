@@ -24,6 +24,7 @@ returns.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,7 +36,14 @@ from repro.serve.metrics import MetricsCollector, RequestRecord, to_json
 from repro.serve.queue import AdmissionQueue, QueuePolicy
 from repro.serve.workload import Request
 
-__all__ = ["ReplicaState", "ServingEngine", "ServingReport", "ROUTING_KINDS"]
+__all__ = [
+    "AdaptiveReplica",
+    "AdaptiveServingEngine",
+    "ReplicaState",
+    "ServingEngine",
+    "ServingReport",
+    "ROUTING_KINDS",
+]
 
 ROUTING_KINDS = ("round-robin", "least-loaded")
 
@@ -258,3 +266,413 @@ class ServingEngine:
         if extra_meta:
             summary["workload"] = dict(sorted(extra_meta.items()))
         return ServingReport(summary=summary, metrics=metrics, replicas=replicas)
+
+
+@dataclass
+class AdaptiveReplica(ReplicaState):
+    """A replica whose membership in the fleet can change mid-run."""
+
+    #: simulated instant the replica joined the fleet
+    added_s: float = 0.0
+    #: set when the replica leaves (drain/scale-down); the chip is held
+    #: until in-flight work finishes, so this is ``max(drain time, free_at)``
+    retired_s: Optional[float] = None
+    #: gray-failure injection: service times multiply by ``slow_factor``
+    #: for dispatches inside ``[slow_from, slow_until)``
+    slow_factor: float = 1.0
+    slow_from: float = math.inf
+    slow_until: float = -math.inf
+
+    @property
+    def active(self) -> bool:
+        """Eligible for new dispatches (not retired, not draining)."""
+        return self.retired_s is None
+
+    def service_multiplier(self, t: float) -> float:
+        if self.slow_from <= t < self.slow_until:
+            return self.slow_factor
+        return 1.0
+
+    def lifetime_s(self, end_s: float) -> float:
+        """Chip-seconds this replica was provisioned for."""
+        end = self.retired_s if self.retired_s is not None else end_s
+        return max(0.0, end - self.added_s)
+
+    def detail(self, makespan_s: float) -> Dict[str, object]:
+        out = super().detail(makespan_s)
+        out["added_ms"] = round(self.added_s * 1e3, 6)
+        out["retired_ms"] = (
+            round(self.retired_s * 1e3, 6) if self.retired_s is not None else None
+        )
+        life = self.lifetime_s(makespan_s)
+        out["utilization"] = round(self.busy_s / life, 6) if life else 0.0
+        return out
+
+
+class AdaptiveServingEngine:
+    """A :class:`ServingEngine` whose fleet and batcher change mid-run.
+
+    This is the actuation surface of the :mod:`repro.control` autoscaler.
+    The one-shot ``run()`` loop is split into a resident event loop that a
+    controller steps at *epoch boundaries*:
+
+    * :meth:`ingest` feeds (time-sorted) requests into the arrival stream;
+    * :meth:`advance_to` runs arrivals/dispatches/completions up to a
+      simulated instant and stops — the epoch boundary;
+    * :meth:`add_replica` / :meth:`drain_replica` / :meth:`set_batch_policy`
+      mutate the fleet and the batcher between epochs.  A drained replica
+      takes no new work and releases its chip once in-flight work finishes;
+      new replicas join with a fresh, never-reused rid;
+    * :meth:`finish` drains everything left and reduces to a
+      :class:`ServingReport` whose ``fleet`` section carries chip-seconds,
+      the resize timeline, and per-replica lifetimes.
+
+    Routing follows the failover engine's dynamic-membership semantics:
+    round-robin cycles over the *active* rids (resuming after the last
+    dispatched one), least-loaded picks the earliest-free active replica
+    with ties to the lowest rid.  With a fixed fleet both degenerate to the
+    static engine's behavior.  Everything remains a deterministic function
+    of (workload, actions, config): no wall clock, no unordered state.
+    """
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        batch_policy: BatchPolicy = BatchPolicy(),
+        queue_policy: QueuePolicy = QueuePolicy(),
+        replicas: int = 1,
+        routing: str = "round-robin",
+        plan_policy: str = "adaptive-2",
+        coster: Optional[BatchCoster] = None,
+    ) -> None:
+        if isinstance(replicas, bool) or not isinstance(replicas, int):
+            raise ConfigError(
+                f"replicas must be an int, got {replicas!r} "
+                f"({type(replicas).__name__})"
+            )
+        if replicas <= 0:
+            raise ConfigError(f"replicas must be positive, got {replicas!r}")
+        if routing not in ROUTING_KINDS:
+            raise ConfigError(
+                f"unknown routing {routing!r}; choose from {ROUTING_KINDS}"
+            )
+        self.config = config
+        self.batch_policy = batch_policy
+        self.queue_policy = queue_policy
+        self.routing = routing
+        self.plan_policy = plan_policy
+        self.coster = coster or BatchCoster(config, policy=plan_policy)
+        self.replicas: List[AdaptiveReplica] = [
+            AdaptiveReplica(rid) for rid in range(replicas)
+        ]
+        self._next_rid = replicas
+        self._queue = AdmissionQueue(queue_policy)
+        self.metrics = MetricsCollector()
+        self._pending: List[Request] = []
+        self._pi = 0
+        self._now = 0.0
+        self._rr_last = -1
+        #: (rid, dispatch_s, finish_s) of every batch, for windowed
+        #: utilization accounting in the detector
+        self.busy_intervals: List[Tuple[int, float, float]] = []
+        #: (time_s, event, rid-or-None, detail) fleet/batcher change log
+        self.fleet_events: List[Tuple[float, str, Optional[int], str]] = []
+
+    # -- fleet state -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def offered(self) -> int:
+        """Requests whose arrival the loop has processed so far."""
+        return self._pi
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def active_replicas(self) -> List[AdaptiveReplica]:
+        return [r for r in self.replicas if r.active]
+
+    def n_active(self) -> int:
+        return sum(1 for r in self.replicas if r.active)
+
+    def chip_seconds(self, end_s: float) -> float:
+        return sum(r.lifetime_s(end_s) for r in self.replicas)
+
+    # -- actuation ---------------------------------------------------------
+
+    def ingest(self, requests: Sequence[Request]) -> None:
+        """Append arrivals to the stream (must not predate current time)."""
+        fresh = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
+        if fresh and fresh[0].arrival_s < self._now:
+            raise ConfigError(
+                f"cannot ingest an arrival at {fresh[0].arrival_s!r}s: the "
+                f"loop has already advanced to {self._now!r}s"
+            )
+        if self._pending[self._pi :] and fresh:
+            tail = self._pending[-1].arrival_s
+            if fresh[0].arrival_s < tail:
+                raise ConfigError(
+                    f"ingested arrivals start at {fresh[0].arrival_s!r}s, "
+                    f"before the pending stream's tail at {tail!r}s"
+                )
+        self._pending.extend(fresh)
+
+    def add_replica(self) -> int:
+        """Provision one replica now; returns its (never-reused) rid."""
+        rid = self._next_rid
+        self._next_rid += 1
+        self.replicas.append(
+            AdaptiveReplica(rid, free_at=self._now, added_s=self._now)
+        )
+        self.fleet_events.append((self._now, "add", rid, ""))
+        return rid
+
+    def drain_replica(self, rid: int, reason: str = "scale-down") -> float:
+        """Stop scheduling onto ``rid``; the chip is released when idle.
+
+        Returns the retirement instant (``max(now, free_at)``).  Draining
+        the last active replica is refused — queued work would be stranded.
+        """
+        state = next((r for r in self.replicas if r.rid == rid), None)
+        if state is None:
+            raise ConfigError(f"unknown replica rid {rid!r}")
+        if not state.active:
+            raise ConfigError(f"replica {rid} is already retired")
+        if self.n_active() <= 1:
+            raise ConfigError(
+                "cannot drain the last active replica; queued work would "
+                "be stranded"
+            )
+        state.retired_s = max(self._now, state.free_at)
+        self.fleet_events.append((self._now, "drain", rid, reason))
+        return state.retired_s
+
+    def set_batch_policy(self, policy: BatchPolicy, reason: str = "retune") -> None:
+        """Swap the live batching knobs; applies to every later dispatch."""
+        if not isinstance(policy, BatchPolicy):
+            raise ConfigError(
+                f"expected a BatchPolicy, got {type(policy).__name__}"
+            )
+        if policy != self.batch_policy:
+            self.fleet_events.append(
+                (self._now, "retune", None, policy.describe())
+            )
+        self.batch_policy = policy
+
+    def set_slow(self, rid: int, factor: float, from_s: float, until_s: float) -> None:
+        """Inject a fail-slow window (the control plane's health stimulus)."""
+        if factor < 1:
+            raise ConfigError(f"slow factor must be >= 1, got {factor!r}")
+        if not until_s > from_s:
+            raise ConfigError(
+                f"slow window must have until > from, got [{from_s!r}, {until_s!r})"
+            )
+        state = next((r for r in self.replicas if r.rid == rid), None)
+        if state is None:
+            raise ConfigError(f"unknown replica rid {rid!r}")
+        state.slow_factor = factor
+        state.slow_from = from_s
+        state.slow_until = until_s
+
+    # -- the resident event loop -------------------------------------------
+
+    def _pick(self) -> Optional[AdaptiveReplica]:
+        """The active replica the next dispatch would use (deterministic)."""
+        active = self.active_replicas()
+        if not active:
+            return None
+        if self.routing == "round-robin":
+            for state in active:
+                if state.rid > self._rr_last:
+                    return state
+            return active[0]
+        return min(active, key=lambda r: (r.free_at, r.rid))
+
+    def _ready_candidates(self) -> List[Tuple[float, float, str]]:
+        out = []
+        for net in self._queue.networks():
+            oldest = self._queue.oldest_arrival(net)
+            ready = self.batch_policy.ready_time(oldest, self._queue.depth(net))
+            out.append((ready, oldest, net))
+        out.sort()
+        return out
+
+    def advance_to(self, t_end: float) -> None:
+        """Run the event loop up to simulated time ``t_end`` and stop.
+
+        Every arrival at or before ``t_end`` is ingested (admitted or
+        shed), and every dispatch whose instant is at or before ``t_end``
+        happens; nothing later does.  Idempotent for the same ``t_end``.
+        """
+        if t_end < self._now:
+            raise ConfigError(
+                f"cannot advance to {t_end!r}s: already at {self._now!r}s"
+            )
+        n = len(self._pending)
+        while True:
+            next_times: List[float] = []
+            if self._pi < n:
+                next_times.append(self._pending[self._pi].arrival_s)
+            if len(self._queue):
+                pick = self._pick()
+                if pick is not None:
+                    ready = self._ready_candidates()[0][0]
+                    next_times.append(max(ready, pick.free_at))
+            if not next_times:
+                break
+            t = max(self._now, min(next_times))
+            if t > t_end:
+                break
+            self._now = t
+
+            while self._pi < n and self._pending[self._pi].arrival_s <= t:
+                request = self._pending[self._pi]
+                shed = self._queue.offer(request, request.arrival_s)
+                if shed is not None:
+                    self.metrics.record_shed(request.tenant, shed.reason)
+                self._pi += 1
+
+            while len(self._queue):
+                replica = self._pick()
+                if replica is None or replica.free_at > t:
+                    break
+                ready, _, network = self._ready_candidates()[0]
+                if ready > t:
+                    break
+                batch, shed_events = self._queue.pop_batch(
+                    network, self.batch_policy.max_batch, t
+                )
+                for event in shed_events:
+                    self.metrics.record_shed(event.request.tenant, event.reason)
+                if not batch:
+                    continue
+                service = self.coster.batch_seconds(network, len(batch))
+                service *= replica.service_multiplier(t)
+                finish = t + service
+                replica.free_at = finish
+                replica.busy_s += service
+                replica.batches += 1
+                replica.completed += len(batch)
+                self._rr_last = replica.rid
+                self.busy_intervals.append((replica.rid, t, finish))
+                self.metrics.record_batch(len(batch))
+                for request in batch:
+                    self.metrics.record_completion(
+                        RequestRecord(
+                            rid=request.rid,
+                            tenant=request.tenant,
+                            network=request.network,
+                            arrival_s=request.arrival_s,
+                            start_s=t,
+                            finish_s=finish,
+                            deadline_s=request.deadline_s,
+                            batch_size=len(batch),
+                            replica=replica.rid,
+                        )
+                    )
+        if t_end > self._now and not math.isinf(t_end):
+            self._now = t_end
+
+    def busy_overlap(self, start_s: float, end_s: float) -> Dict[int, float]:
+        """Per-replica busy seconds clipped to ``[start_s, end_s)``."""
+        out: Dict[int, float] = {}
+        for rid, s, e in self.busy_intervals:
+            lo = max(s, start_s)
+            hi = min(e, end_s)
+            if hi > lo:
+                out[rid] = out.get(rid, 0.0) + (hi - lo)
+        return out
+
+    def provisioned_overlap(self, start_s: float, end_s: float) -> float:
+        """Fleet chip-seconds provisioned within ``[start_s, end_s)``."""
+        total = 0.0
+        for r in self.replicas:
+            lo = max(r.added_s, start_s)
+            hi = min(r.retired_s if r.retired_s is not None else end_s, end_s)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def finish(
+        self,
+        duration_s: float,
+        extra_meta: Optional[Dict[str, object]] = None,
+    ) -> ServingReport:
+        """Drain everything outstanding and reduce to a report."""
+        if duration_s <= 0:
+            raise ConfigError(f"duration must be positive, got {duration_s!r}")
+        with phase("serve_adaptive_finish"):
+            self.advance_to(math.inf)
+        makespan_s = max(
+            [duration_s] + [r.finish_s for r in self.metrics.completed]
+        )
+        busy_s = sum(r.busy_s for r in self.replicas)
+        peak = _peak_fleet_size(self.replicas)
+        summary = self.metrics.summary(
+            duration_s, peak, busy_s, makespan_s=makespan_s
+        )
+        chip_s = self.chip_seconds(makespan_s)
+        summary["utilization"] = round(busy_s / chip_s, 6) if chip_s else 0.0
+        summary["per_replica"] = [
+            r.detail(makespan_s) for r in self.replicas
+        ]
+        summary["fleet"] = {
+            "chip_seconds": round(chip_s, 6),
+            "peak_replicas": peak,
+            "final_replicas": self.n_active(),
+            "events": [
+                {
+                    "time_ms": round(t * 1e3, 6),
+                    "event": event,
+                    "replica": rid,
+                    "detail": detail,
+                }
+                for t, event, rid, detail in self.fleet_events
+            ],
+        }
+        summary["engine"] = {
+            "config": self.config.name,
+            "plan_policy": self.plan_policy,
+            "batching": self.batch_policy.describe(),
+            "max_batch": self.batch_policy.max_batch,
+            "max_wait_ms": self.batch_policy.max_wait_ms,
+            "queue_depth": self.queue_policy.max_depth,
+            "queue_order": self.queue_policy.order,
+            "routing": self.routing,
+            "adaptive": True,
+        }
+        if extra_meta:
+            summary["workload"] = dict(sorted(extra_meta.items()))
+        return ServingReport(
+            summary=summary, metrics=self.metrics, replicas=list(self.replicas)
+        )
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        duration_s: float,
+        extra_meta: Optional[Dict[str, object]] = None,
+    ) -> ServingReport:
+        """One-shot convenience: ingest, drain, report (no mid-run actions)."""
+        self.ingest(requests)
+        return self.finish(duration_s, extra_meta)
+
+
+def _peak_fleet_size(replicas: Sequence[AdaptiveReplica]) -> int:
+    """Max simultaneously-provisioned replicas over the run."""
+    events: List[Tuple[float, int]] = []
+    for r in replicas:
+        events.append((r.added_s, 1))
+        if r.retired_s is not None:
+            events.append((r.retired_s, -1))
+    # retirements before additions at the same instant: a drain+add swap
+    # at one epoch boundary holds peak-1 chips, not peak+1
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = count = 0
+    for _, delta in events:
+        count += delta
+        peak = max(peak, count)
+    return peak

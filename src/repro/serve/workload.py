@@ -10,6 +10,9 @@ traffic shapes a deployed accelerator sees:
 * :func:`bursty_arrivals` — an on/off modulated Poisson process (same mean
   rate, traffic squeezed into periodic bursts) that stresses the queue and
   the load-shedding policy;
+* :func:`diurnal_arrivals` — a multi-day sinusoidal day/night cycle with
+  scheduled flash-crowd spikes and slow tenant churn, the input the
+  autoscaling control plane (:mod:`repro.control`) is judged on;
 * :func:`trace_arrivals` — replay recorded arrival times from a file, for
   apples-to-apples comparisons against production traces.
 
@@ -20,9 +23,10 @@ simulation downstream is deterministic because its input is.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
@@ -32,11 +36,13 @@ __all__ = [
     "parse_mix",
     "poisson_arrivals",
     "bursty_arrivals",
+    "diurnal_arrivals",
+    "diurnal_rate",
     "trace_arrivals",
     "ARRIVAL_KINDS",
 ]
 
-ARRIVAL_KINDS = ("poisson", "bursty", "trace")
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "trace")
 
 #: default per-request latency SLO when a mix spec does not name one
 DEFAULT_SLO_MS = 250.0
@@ -212,6 +218,128 @@ def bursty_arrivals(
     return requests
 
 
+def diurnal_rate(
+    t: float,
+    base_rate: float,
+    peak_rate: float,
+    day_s: float,
+    flash_windows: Sequence[Tuple[float, float, float]] = (),
+) -> float:
+    """Instantaneous arrival rate of the diurnal process at time ``t``.
+
+    The daily cycle is sinusoidal — ``base_rate`` at midnight, ``peak_rate``
+    at mid-day — and any flash-crowd window ``(start, duration, factor)``
+    covering ``t`` multiplies the rate (overlapping windows take the max
+    factor, mirroring the service-window semantics in the failover engine).
+    """
+    rate = base_rate + (peak_rate - base_rate) * 0.5 * (
+        1.0 - math.cos(2.0 * math.pi * t / day_s)
+    )
+    factor = 1.0
+    for start, duration, f in flash_windows:
+        if start <= t < start + duration:
+            factor = max(factor, f)
+    return rate * factor
+
+
+def diurnal_arrivals(
+    base_rate: float,
+    peak_rate: float,
+    days: float,
+    tenants: Sequence[TenantSpec],
+    seed: int = 0,
+    day_s: float = 86400.0,
+    flash_crowds: Sequence[Tuple[float, float, float]] = (),
+    flash_per_day: float = 0.0,
+    flash_factor: float = 3.0,
+    flash_duration_s: Optional[float] = None,
+    churn: float = 0.0,
+) -> List[Request]:
+    """Multi-day diurnal traffic: day/night cycle, flash crowds, churn.
+
+    The mean rate follows a sinusoid per simulated day (``base_rate`` in the
+    trough, ``peak_rate`` at the crest; ``day_s`` seconds per day so tests
+    and benchmarks can compress a day).  Flash crowds are ``(start_s,
+    duration_s, factor)`` rate-multiplier windows — pass them explicitly in
+    ``flash_crowds`` and/or let ``flash_per_day`` of them be drawn at seeded
+    uniform times with ``flash_factor`` x ``flash_duration_s`` (default 2%%
+    of a day) each.  ``churn`` in [0, 1) slowly rotates the tenant mix: each
+    tenant's weight is modulated by ``1 + churn * sin(2 pi t/day_s + phase)``
+    with a seeded per-tenant phase, so which network dominates drifts over
+    the day.  Sampling is exact thinning against the envelope rate, like
+    :func:`bursty_arrivals`, and everything is driven by one seeded RNG —
+    the same seed always yields the identical request list.
+    """
+    if base_rate <= 0:
+        raise ConfigError(f"base_rate must be positive, got {base_rate!r}")
+    if peak_rate < base_rate:
+        raise ConfigError(
+            f"peak_rate must be >= base_rate, got {peak_rate!r} < {base_rate!r}"
+        )
+    if days <= 0:
+        raise ConfigError(f"days must be positive, got {days!r}")
+    if day_s <= 0:
+        raise ConfigError(f"day_s must be positive, got {day_s!r}")
+    if flash_per_day < 0:
+        raise ConfigError(f"flash_per_day must be >= 0, got {flash_per_day!r}")
+    if flash_factor < 1:
+        raise ConfigError(f"flash_factor must be >= 1, got {flash_factor!r}")
+    if not 0 <= churn < 1:
+        raise ConfigError(f"churn must be in [0, 1), got {churn!r}")
+    for window in flash_crowds:
+        start, duration, factor = window
+        if start < 0 or duration <= 0 or factor < 1:
+            raise ConfigError(
+                f"flash crowd {window!r} must be (start>=0, duration>0, factor>=1)"
+            )
+    _validate_tenants(tenants)
+
+    duration_s = days * day_s
+    if flash_duration_s is None:
+        flash_duration_s = 0.02 * day_s
+    elif flash_duration_s <= 0:
+        raise ConfigError(
+            f"flash_duration_s must be positive, got {flash_duration_s!r}"
+        )
+    rng = random.Random(seed)
+    windows = [tuple(map(float, w)) for w in flash_crowds]
+    n_seeded = int(round(flash_per_day * days))
+    seeded_starts = sorted(rng.uniform(0.0, duration_s) for _ in range(n_seeded))
+    windows.extend((s, float(flash_duration_s), float(flash_factor)) for s in seeded_starts)
+    windows.sort()
+
+    max_factor = max([1.0] + [f for _, _, f in windows])
+    envelope = peak_rate * max_factor
+    phases = [rng.uniform(0.0, 2.0 * math.pi) for _ in tenants]
+
+    def pick_tenant(t: float) -> TenantSpec:
+        if not churn:
+            return _pick_tenant(rng, tenants)
+        weights = [
+            tenant.weight
+            * (1.0 + churn * math.sin(2.0 * math.pi * t / day_s + phases[k]))
+            for k, tenant in enumerate(tenants)
+        ]
+        x = rng.random() * sum(weights)
+        for tenant, w in zip(tenants, weights):
+            x -= w
+            if x < 0:
+                return tenant
+        return tenants[-1]
+
+    requests: List[Request] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(envelope)
+        if t >= duration_s:
+            break
+        current = diurnal_rate(t, base_rate, peak_rate, day_s, windows)
+        if rng.random() * envelope >= current:
+            continue
+        requests.append(_make_request(len(requests), pick_tenant(t), t))
+    return requests
+
+
 def trace_arrivals(
     path: str,
     tenants: Sequence[TenantSpec],
@@ -222,13 +350,17 @@ def trace_arrivals(
 
     Each non-empty, non-``#`` line is ``<arrival_seconds>[,<tenant>]``.
     Lines without a tenant are assigned one by weighted draw (seeded, so
-    replay is deterministic).  Arrivals are sorted; ``duration_s`` truncates
-    the trace when given.
+    replay is deterministic).  Timestamps must be finite, non-negative and
+    non-decreasing — a trace that jumps backwards in time is almost always
+    a recording bug, so it is rejected with the offending entry named
+    rather than silently re-sorted.  ``duration_s`` truncates the trace
+    when given.
     """
     _validate_tenants(tenants)
     by_name = {t.name: t for t in tenants}
     rng = random.Random(seed)
     rows = []
+    prev: Optional[float] = None
     with open(path) as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
@@ -241,8 +373,20 @@ def trace_arrivals(
                 raise ConfigError(
                     f"{path}:{lineno}: bad arrival time {time_s!r}"
                 ) from None
+            if not math.isfinite(arrival):
+                raise ConfigError(
+                    f"{path}:{lineno}: non-finite arrival time {arrival!r} "
+                    f"(entry {len(rows)})"
+                )
             if arrival < 0:
                 raise ConfigError(f"{path}:{lineno}: negative arrival time {arrival!r}")
+            if prev is not None and arrival < prev:
+                raise ConfigError(
+                    f"{path}:{lineno}: decreasing arrival time {arrival!r} "
+                    f"after {prev!r} (entry {len(rows)}); trace timestamps "
+                    f"must be non-decreasing"
+                )
+            prev = arrival
             tenant_name = tenant_name.strip()
             if tenant_name and tenant_name not in by_name:
                 raise ConfigError(
@@ -250,7 +394,6 @@ def trace_arrivals(
                     f"trace tenants must be in {sorted(by_name)}"
                 )
             rows.append((arrival, tenant_name))
-    rows.sort(key=lambda r: r[0])
     requests: List[Request] = []
     for arrival, tenant_name in rows:
         if duration_s is not None and arrival >= duration_s:

@@ -1,0 +1,63 @@
+"""The ``repro autoscale`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ConfigError
+
+FAST = ["autoscale", "--days", "1", "--day-s", "40", "--peak-rate", "30"]
+
+
+class TestAutoscaleCommand:
+    def test_default_run(self, capsys):
+        assert main(FAST) == 0
+        out = capsys.readouterr().out
+        assert "autoscaler:" in out
+        assert "chip-seconds" in out
+
+    def test_json_is_byte_stable(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(FAST + ["--seed", "7", "--json", str(a)]) == 0
+        assert main(FAST + ["--seed", "7", "--json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        summary = json.loads(a.read_text())
+        assert summary["engine"]["adaptive"] is True
+        assert summary["control"]["n_epochs"] == 20
+        assert summary["workload"]["seed"] == 7
+
+    def test_compare_adds_baselines(self, capsys):
+        assert main(FAST + ["--compare", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["baselines"]) == {"static_mean", "static_peak"}
+        for stats in payload["baselines"].values():
+            assert stats["replicas"] >= 1
+
+    def test_explicit_flash_window(self, capsys):
+        assert main(FAST + ["--flash", "10:5:3", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["offered"] > 0
+
+    def test_bad_flash_spec_rejected(self):
+        with pytest.raises(ConfigError, match="bad --flash"):
+            main(FAST + ["--flash", "oops"])
+
+    def test_knobs_reach_the_policy(self, capsys):
+        rc = main(
+            FAST
+            + [
+                "--max-replicas", "4", "--epoch-s", "1.0", "--no-retune",
+                "--json", "-",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        policy = payload["control"]["policy"]
+        assert policy["max_replicas"] == 4
+        assert policy["epoch_s"] == 1.0
+        assert policy["retune"] is False
+        assert payload["fleet"]["peak_replicas"] <= 4

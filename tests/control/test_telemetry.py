@@ -1,0 +1,172 @@
+"""Detector windowing: exact partitioning, byte-stability, health ratios."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16
+from repro.errors import ConfigError
+from repro.serve.batcher import BatchCoster, BatchPolicy
+from repro.serve.engine import AdaptiveServingEngine
+from repro.serve.metrics import to_json
+from repro.serve.workload import TenantSpec, poisson_arrivals, bursty_arrivals
+
+ALEX = [TenantSpec("alexnet", "alexnet", slo_ms=100.0)]
+MIXED = [
+    TenantSpec("alexnet", "alexnet", weight=2.0, slo_ms=100.0),
+    TenantSpec("nin", "nin", weight=1.0, slo_ms=500.0),
+]
+
+_COSTER = BatchCoster(CONFIG_16_16)
+
+from repro.control.telemetry import Detector  # noqa: E402
+
+
+def engine(**kwargs):
+    kwargs.setdefault("coster", _COSTER)
+    return AdaptiveServingEngine(CONFIG_16_16, **kwargs)
+
+
+def windowed_run(reqs, duration, epoch_s, tenants, **kwargs):
+    """Step an engine through fixed epochs collecting WindowStats."""
+    eng = engine(**kwargs)
+    det = Detector(eng, tenants)
+    eng.ingest(reqs)
+    windows = []
+    n = int(math.ceil(duration / epoch_s))
+    for k in range(n):
+        t_end = min((k + 1) * epoch_s, duration)
+        eng.advance_to(t_end)
+        windows.append(det.observe(t_end))
+    # one final drain window past the nominal duration
+    eng.advance_to(math.inf)
+    windows.append(det.observe(duration + 1e6))
+    return eng, windows
+
+
+class TestWindowPartitioning:
+    """Summing any column over the windows reproduces the run totals."""
+
+    @pytest.mark.parametrize("epoch_s", [0.25, 0.5, 1.0, 3.0])
+    def test_completions_partition_exactly(self, epoch_s):
+        reqs = poisson_arrivals(120, 4, MIXED, seed=7)
+        eng, windows = windowed_run(reqs, 4, epoch_s, MIXED)
+        assert sum(w.completed for w in windows) == len(eng.metrics.completed)
+        assert sum(w.deadline_met for w in windows) == sum(
+            1 for r in eng.metrics.completed if r.met_deadline
+        )
+
+    def test_sheds_and_arrivals_partition_exactly(self):
+        # tiny queue so plenty is shed
+        from repro.serve.queue import QueuePolicy
+
+        reqs = bursty_arrivals(300, 3, ALEX, seed=1, burst_factor=4)
+        eng, windows = windowed_run(
+            reqs, 3, 0.5, ALEX, queue_policy=QueuePolicy(max_depth=8)
+        )
+        assert sum(w.shed for w in windows) == eng.metrics.shed_total
+        assert sum(w.arrivals for w in windows) == len(reqs)
+
+    def test_boundary_exactly_on_finish_no_double_count(self):
+        """A completion finishing exactly at t_end lands in that window only."""
+        reqs = poisson_arrivals(60, 2, ALEX, seed=3)
+        eng = engine()
+        det = Detector(eng, ALEX)
+        eng.ingest(reqs)
+        eng.advance_to(math.inf)
+        finish = eng.metrics.completed[5].finish_s
+        w1 = det.observe(finish)  # boundary == a real finish instant
+        w2 = det.observe(finish + 10.0)
+        assert w1.completed + w2.completed == len(eng.metrics.completed)
+        # the record at the boundary went to the earlier window
+        boundary_hits = sum(
+            1 for r in eng.metrics.completed if r.finish_s == finish
+        )
+        assert w1.completed >= boundary_hits
+
+    def test_windows_never_see_future_finishes(self):
+        reqs = poisson_arrivals(100, 2, MIXED, seed=9)
+        eng, windows = windowed_run(reqs, 2, 0.25, MIXED)
+        for w in windows:
+            # every record in a window finished inside it; latency percentiles
+            # of an empty window are 0 by convention
+            if w.completed == 0:
+                assert w.p95_ms == 0.0
+
+    def test_observe_must_advance(self):
+        eng = engine()
+        det = Detector(eng, ALEX)
+        eng.advance_to(1.0)
+        det.observe(1.0)
+        with pytest.raises(ConfigError, match="does not advance"):
+            det.observe(1.0)
+
+
+class TestByteStability:
+    def test_window_dicts_byte_identical_across_runs(self):
+        def run():
+            reqs = poisson_arrivals(150, 3, MIXED, seed=21)
+            _, windows = windowed_run(reqs, 3, 0.5, MIXED)
+            return to_json([w.to_dict() for w in windows])
+
+        assert run() == run()
+
+    def test_window_dict_round_trips_through_json(self):
+        reqs = poisson_arrivals(80, 2, MIXED, seed=4)
+        _, windows = windowed_run(reqs, 2, 0.5, MIXED)
+        for w in windows:
+            d = w.to_dict()
+            assert json.loads(to_json(d)) == json.loads(to_json(d))
+            assert d["arrivals"] >= 0 and d["completed"] >= 0
+
+
+class TestSignals:
+    def test_slo_frac_is_worst_tenant(self):
+        reqs = poisson_arrivals(150, 2, MIXED, seed=2)
+        _, windows = windowed_run(reqs, 2, 1.0, MIXED)
+        busy = [w for w in windows if w.completed]
+        assert busy
+        for w in busy:
+            assert w.slo_p95_frac >= 0.0
+
+    def test_network_mix_shares_sum_to_one(self):
+        reqs = poisson_arrivals(200, 2, MIXED, seed=5)
+        _, windows = windowed_run(reqs, 2, 1.0, MIXED)
+        for w in windows:
+            if w.network_mix:
+                assert sum(w.network_mix.values()) == pytest.approx(1.0)
+
+    def test_healthy_replica_ratio_near_one(self):
+        reqs = poisson_arrivals(100, 2, ALEX, seed=6)
+        _, windows = windowed_run(reqs, 2, 1.0, ALEX)
+        for w in windows:
+            for ratio in w.replica_service_ratio.values():
+                assert ratio == pytest.approx(1.0, rel=1e-6)
+
+    def test_slow_replica_ratio_matches_injected_factor(self):
+        reqs = poisson_arrivals(100, 2, ALEX, seed=6)
+        eng = engine()
+        eng.set_slow(0, 3.0, 0.0, 10.0)
+        det = Detector(eng, ALEX)
+        eng.ingest(reqs)
+        eng.advance_to(1.0)
+        w = det.observe(1.0)
+        assert w.replica_service_ratio[0] == pytest.approx(3.0, rel=1e-6)
+
+    def test_utilization_bounded_and_positive_under_load(self):
+        reqs = poisson_arrivals(200, 2, ALEX, seed=8)
+        _, windows = windowed_run(reqs, 2, 0.5, ALEX)
+        loaded = [w for w in windows if w.completed]
+        assert any(w.utilization > 0 for w in loaded)
+        for w in loaded:
+            assert 0.0 <= w.utilization <= 1.0 + 1e-9
+
+    def test_deadline_hit_rate_defaults_to_one_when_idle(self):
+        eng = engine()
+        det = Detector(eng, ALEX)
+        eng.advance_to(1.0)
+        w = det.observe(1.0)
+        assert w.deadline_hit_rate == 1.0
