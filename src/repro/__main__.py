@@ -26,6 +26,11 @@ chaos [SCENARIO ...] [--seed 1] [--json PATH]
     serving tier and report availability, goodput under fault, MTTR and
     latency ratios (see ``docs/resilience.md``).  Exits non-zero when a
     scenario's declared invariant is violated.
+tenancy {partition|fleet} [--tenants ...] [--rate 470] ...
+    Carve one chip into co-resident tenant partitions and race the
+    result against time-multiplexing the whole chip, or compare
+    heterogeneous fleet compositions at equal cost (see
+    ``docs/tenancy.md``).
 integrity [--seed 0] [--flips 4] [--smoke] [--json PATH]
     Run the ABFT bit-flip injection sweep: detection / false-positive /
     correction rates per buffer site and scheme path, plus the costed
@@ -616,6 +621,162 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_tenancy(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.errors import ConfigError
+    from repro.serve import BatchPolicy, QueuePolicy
+    from repro.serve.workload import parse_tenant_mix
+    from repro.tenancy import (
+        PartitionSpec,
+        compare_fleets,
+        compare_partitioned,
+        even_partitions,
+        parse_fleet,
+        rollup_to_json,
+    )
+
+    tenants = parse_tenant_mix(args.tenants, slo_ms=args.slo_ms)
+    batch_policy = BatchPolicy(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+    )
+    queue_policy = QueuePolicy(max_depth=args.queue_depth)
+
+    if args.mode == "partition":
+        config = named_config(args.config)
+        if args.partitions:
+            specs = []
+            for entry in args.partitions.split(","):
+                entry = entry.strip()
+                if not entry:
+                    continue
+                name, sep, dims = entry.partition(":")
+                try:
+                    tin_s, tout_s = dims.split("x")
+                    specs.append(
+                        PartitionSpec(
+                            name=name, tin=int(tin_s), tout=int(tout_s)
+                        )
+                    )
+                except ValueError:
+                    raise ConfigError(
+                        f"bad partition entry {entry!r}; expected "
+                        "'name:TINxTOUT'"
+                    ) from None
+        else:
+            specs = even_partitions(config, args.split)
+        rollup = compare_partitioned(
+            config,
+            specs,
+            tenants,
+            args.rate,
+            args.duration,
+            seed=args.seed,
+            batch_policy=batch_policy,
+            queue_policy=queue_policy,
+            plan_policy=args.policy,
+        )
+        if args.json == "-":
+            print(rollup_to_json(rollup), end="")
+            return 0
+        head = rollup["headline"]
+        p95 = head["worst_tenant_p95_ms"]
+        print(
+            f"{config.name} carved into "
+            + ", ".join(
+                f"{s.name}={s.tin}x{s.tout}" for s in specs
+            )
+            + f" vs time-multiplexed whole chip, {args.rate:g} req/s "
+            f"x {args.duration:g} s (seed {args.seed})"
+        )
+        print()
+        rows = []
+        for side in ("partitioned", "timemux"):
+            s = rollup[side]
+            rows.append(
+                [
+                    side,
+                    str(s["offered"]),
+                    str(s["shed"]),
+                    f"{s['goodput_rps']:.1f}",
+                    f"{p95[side]:.1f}",
+                    f"{s['deadline_hit_rate']:.1%}",
+                ]
+            )
+        print(
+            format_table(
+                ["deployment", "offered", "shed", "goodput/s",
+                 "worst-tenant p95 ms", "hit rate"],
+                rows,
+            )
+        )
+        verdict = "wins" if head["partitioned_wins"] else "loses"
+        print(
+            f"\npartitioned co-residency {verdict} on worst-tenant p95 "
+            f"({head['p95_ratio']:.2f}x the time-multiplexed tail)"
+        )
+    else:  # fleet
+        if not args.fleet:
+            raise ConfigError(
+                "tenancy fleet mode needs at least one --fleet "
+                "'name=class:Tin-Tout:count,...'"
+            )
+        fleets = []
+        for entry in args.fleet:
+            name, sep, spec = entry.partition("=")
+            if not sep or not name or not spec:
+                raise ConfigError(
+                    f"bad --fleet {entry!r}; expected "
+                    "'name=class:Tin-Tout[:count],...'"
+                )
+            fleets.append(parse_fleet(spec, name=name))
+        rollup = compare_fleets(
+            fleets,
+            tenants,
+            args.rate,
+            args.duration,
+            seed=args.seed,
+            batch_policy=batch_policy,
+            queue_policy=queue_policy,
+            plan_policy=args.policy,
+        )
+        if args.json == "-":
+            print(rollup_to_json(rollup), end="")
+            return 0
+        head = rollup["headline"]
+        print(
+            f"fleet comparison at {args.rate:g} req/s x {args.duration:g} s "
+            f"(seed {args.seed})"
+        )
+        print()
+        rows = []
+        for name in head["ranking"]:
+            s = rollup["fleets"][name]
+            rows.append(
+                [
+                    name,
+                    f"{s['fleet']['total_weight']:g}",
+                    str(s["offered"]),
+                    str(s["shed"]),
+                    f"{s['goodput_rps']:.1f}",
+                    f"{head['worst_tenant_p95_ms'][name]:.1f}",
+                    f"{s['deadline_hit_rate']:.1%}",
+                ]
+            )
+        print(
+            format_table(
+                ["fleet", "weight", "offered", "shed", "goodput/s",
+                 "worst-tenant p95 ms", "hit rate"],
+                rows,
+            )
+        )
+        print(f"\nwinner: {head['winner']}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(rollup_to_json(rollup))
+        print(f"\ntenancy JSON written to {args.json}")
+    return 0
+
+
 def cmd_integrity(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
     from repro.integrity import run_sweep, sweep_to_json
@@ -1054,6 +1215,58 @@ def main(argv=None) -> int:
         help="write the rollup JSON here ('-' = stdout only)",
     )
 
+    p_ten = sub.add_parser(
+        "tenancy",
+        help="partition a chip among tenants / compare fleet compositions",
+        parents=[perf_opts],
+    )
+    p_ten.add_argument(
+        "mode",
+        choices=["partition", "fleet"],
+        help="co-resident partitions vs time-mux, or fleet compositions",
+    )
+    p_ten.add_argument(
+        "--tenants",
+        default="acme=alexnet:9/nin:1,beta=alexnet:4/nin:1",
+        help='per-tenant network mixes, e.g. "acme=alexnet:3/vgg:1@2,beta=nin"',
+    )
+    p_ten.add_argument("--config", default="32-32", help="chip to partition")
+    p_ten.add_argument(
+        "--split",
+        type=int,
+        default=2,
+        help="partition mode: split into N equal column strips",
+    )
+    p_ten.add_argument(
+        "--partitions",
+        default="",
+        metavar="NAME:TINxTOUT,...",
+        help='explicit partition specs, e.g. "a:16x32,b:16x32" (overrides --split)',
+    )
+    p_ten.add_argument(
+        "--fleet",
+        action="append",
+        default=[],
+        metavar="NAME=SPEC",
+        help="fleet mode: 'name=class:Tin-Tout[:count],...' (repeatable)",
+    )
+    p_ten.add_argument("--rate", type=float, default=470.0, help="total arrival rate, req/s")
+    p_ten.add_argument("--duration", type=float, default=10.0, help="offered-load window, s")
+    p_ten.add_argument("--seed", type=int, default=1, help="workload RNG seed")
+    p_ten.add_argument("--slo-ms", type=float, default=250.0, help="per-request latency SLO")
+    p_ten.add_argument("--max-batch", type=int, default=16, help="dynamic batching cap")
+    p_ten.add_argument(
+        "--max-wait-ms", type=float, default=10.0, help="partial-batch dispatch timeout"
+    )
+    p_ten.add_argument("--queue-depth", type=int, default=256, help="admission queue bound")
+    p_ten.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
+    p_ten.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the rollup JSON here ('-' = stdout only)",
+    )
+
     p_int = sub.add_parser(
         "integrity",
         help="run the ABFT bit-flip injection sweep",
@@ -1124,6 +1337,7 @@ def main(argv=None) -> int:
         "shard": cmd_shard,
         "chaos": cmd_chaos,
         "integrity": cmd_integrity,
+        "tenancy": cmd_tenancy,
     }
 
     from repro.perf import schedule_cache, set_default_jobs

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigError
 
@@ -118,6 +118,81 @@ class AcceleratorConfig:
     def with_frequency(self, hz: float) -> "AcceleratorConfig":
         """Copy with a different clock (Fig. 9 down-scales to 100 MHz)."""
         return replace(self, frequency_hz=hz)
+
+    def partition(
+        self,
+        tin: int,
+        tout: int,
+        buffer_fraction: Optional[float] = None,
+        dram_fraction: Optional[float] = None,
+    ) -> "AcceleratorConfig":
+        """Derive the sub-accelerator config of one chip partition.
+
+        Carving ``tin x tout`` multipliers plus a share of the SRAM and DMA
+        budget out of this chip yields a first-class config: planning,
+        caching, and serving treat it as just another geometry (the same
+        trick :func:`repro.resilience.degrade.degraded_config` plays for PE
+        masks).  Fractions default to the partition's share of the PE
+        array, ``(tin * tout) / multipliers``; a full-chip partition
+        (``tin == self.tin``, ``tout == self.tout``, fractions 1) derives a
+        config *equal* to the parent, so degenerate partitions are
+        bit-identical to whole-chip planning by construction.
+
+        Clock and overlap semantics are inherited — partitions share the
+        parent's clock domain.
+        """
+        for label, value in (("tin", tin), ("tout", tout)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(
+                    f"partition {label} must be an int, got {value!r} "
+                    f"({type(value).__name__})"
+                )
+            if value <= 0:
+                raise ConfigError(
+                    f"partition {label} must be positive, got {value!r}"
+                )
+        if tin > self.tin:
+            raise ConfigError(
+                f"partition tin {tin} exceeds the parent chip's tin {self.tin}"
+            )
+        if tout > self.tout:
+            raise ConfigError(
+                f"partition tout {tout} exceeds the parent chip's tout {self.tout}"
+            )
+        area_fraction = (tin * tout) / self.multipliers
+        if buffer_fraction is None:
+            buffer_fraction = area_fraction
+        if dram_fraction is None:
+            dram_fraction = area_fraction
+        for label, fraction in (
+            ("buffer_fraction", buffer_fraction),
+            ("dram_fraction", dram_fraction),
+        ):
+            if not 0 < fraction <= 1:
+                raise ConfigError(
+                    f"partition {label} must be in (0, 1], got {fraction!r}"
+                )
+
+        def share(total_bytes: int) -> int:
+            scaled = int(total_bytes * buffer_fraction)
+            aligned = (scaled // self.word_bytes) * self.word_bytes
+            if aligned <= 0:
+                raise ConfigError(
+                    f"buffer_fraction {buffer_fraction!r} of {total_bytes} "
+                    f"bytes leaves no whole-word buffer for the partition"
+                )
+            return aligned
+
+        return replace(
+            self,
+            tin=tin,
+            tout=tout,
+            input_buffer_bytes=share(self.input_buffer_bytes),
+            output_buffer_bytes=share(self.output_buffer_bytes),
+            weight_buffer_bytes=share(self.weight_buffer_bytes),
+            bias_buffer_bytes=share(self.bias_buffer_bytes),
+            dram_words_per_cycle=self.dram_words_per_cycle * dram_fraction,
+        )
 
     def to_dict(self) -> Dict[str, float]:
         """Plain-dict form (JSON-friendly) for config files and exports."""

@@ -41,6 +41,7 @@ from repro.cluster.pipeline import (
 from repro.cluster.replica import (
     SHARD_STRATEGIES,
     PipelinedReplica,
+    compare_compositions,
     compare_deployments,
 )
 from repro.cluster.rollup import (
@@ -60,6 +61,7 @@ __all__ = [
     "SHARD_STRATEGIES",
     "StagePlan",
     "activation_bytes",
+    "compare_compositions",
     "compare_deployments",
     "partition_dp",
     "partition_even",

@@ -28,7 +28,12 @@ from repro.cluster.pipeline import PipelinePlan, plan_pipeline
 from repro.errors import ConfigError
 from repro.nn.network import Network
 
-__all__ = ["PipelinedReplica", "SHARD_STRATEGIES", "compare_deployments"]
+__all__ = [
+    "PipelinedReplica",
+    "SHARD_STRATEGIES",
+    "compare_compositions",
+    "compare_deployments",
+]
 
 SHARD_STRATEGIES = ("pipeline", "data-parallel")
 
@@ -176,3 +181,102 @@ def compare_deployments(
         extra_meta={"deployment": f"{n_chips}x small chip ({strategy})"},
     )
     return {"big": big.summary, "sharded": sharded.summary}
+
+
+def compare_compositions(
+    compositions: Dict[str, object],
+    requests,
+    duration_s: float,
+    batch_policy=None,
+    queue_policy=None,
+    routing: str = "least-loaded",
+    policy: str = "adaptive-2",
+) -> Dict[str, object]:
+    """Serve one workload on several fleet compositions, same knobs.
+
+    Generalizes :func:`compare_deployments` beyond 1-big-vs-N-small: each
+    composition is ``{"name": [(config, count), ...]}`` — a *heterogeneous*
+    replica set sharing one admission queue, realised through
+    :class:`~repro.serve.engine.ServingEngine`'s per-replica costers and
+    chip tags (so the summary carries per-chip accounting and mixed chip
+    classes serve side by side).  Replicas are laid out in group order,
+    chips named ``<class index>-<instance>``; identical configs share one
+    memoized coster.  The verdict ranks compositions by
+    (worst p95 latency, -goodput, name).
+
+    Returns ``{"compositions": {name: summary}, "ranking": [...],
+    "winner": name}``.
+    """
+    from repro.serve.batcher import BatchCoster, BatchPolicy
+    from repro.serve.engine import ServingEngine
+    from repro.serve.queue import QueuePolicy
+
+    if not compositions:
+        raise ConfigError("compare_compositions needs at least one composition")
+    batch_policy = batch_policy or BatchPolicy()
+    queue_policy = queue_policy or QueuePolicy()
+    requests = list(requests)
+    costers: Dict[AcceleratorConfig, BatchCoster] = {}
+    results: Dict[str, Dict[str, object]] = {}
+    for name in sorted(compositions):
+        groups = list(compositions[name])
+        if not groups:
+            raise ConfigError(f"composition {name!r} has no chip groups")
+        replica_costers = []
+        chip_map: Dict[int, str] = {}
+        lead_config: Optional[AcceleratorConfig] = None
+        for gi, (config, count) in enumerate(groups):
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise ConfigError(
+                    f"composition {name!r} group {gi}: count must be an "
+                    f"int, got {count!r}"
+                )
+            if count <= 0:
+                raise ConfigError(
+                    f"composition {name!r} group {gi}: count must be "
+                    f"positive, got {count!r}"
+                )
+            if lead_config is None:
+                lead_config = config
+            coster = costers.get(config)
+            if coster is None:
+                coster = costers[config] = BatchCoster(config, policy=policy)
+            for instance in range(count):
+                rid = len(replica_costers)
+                replica_costers.append(coster)
+                chip_map[rid] = f"{config.name} g{gi}-{instance}"
+        engine = ServingEngine(
+            lead_config,
+            batch_policy=batch_policy,
+            queue_policy=queue_policy,
+            replicas=len(replica_costers),
+            routing=routing,
+            plan_policy=policy,
+            coster=replica_costers[0],
+            replica_costers=replica_costers,
+            chip_map=chip_map,
+        )
+        summary = engine.run(
+            requests,
+            duration_s,
+            extra_meta={
+                "deployment": " + ".join(
+                    f"{count}x {config.name}" for config, count in groups
+                )
+            },
+        ).summary
+        results[name] = summary
+
+    ranking = sorted(
+        results,
+        key=lambda name: (
+            results[name]["latency_ms"]["p95"],
+            -results[name]["goodput_rps"],
+            name,
+        ),
+    )
+    return {
+        "compositions": results,
+        "ranking": ranking,
+        "winner": ranking[0],
+    }

@@ -29,6 +29,7 @@ from repro.resilience.degrade import (
     DegradeReport,
     SchemeFlip,
     degraded_config,
+    geometry_flips,
     replan_degraded,
 )
 from repro.resilience.faults import (
@@ -68,6 +69,7 @@ __all__ = [
     "SchemeFlip",
     "build_scenario",
     "degraded_config",
+    "geometry_flips",
     "flapping_link",
     "repair_pipeline",
     "replan_degraded",

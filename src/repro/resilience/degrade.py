@@ -27,7 +27,13 @@ from repro.errors import ConfigError
 from repro.nn.network import Network
 from repro.resilience.faults import PEMask
 
-__all__ = ["degraded_config", "SchemeFlip", "DegradeReport", "replan_degraded"]
+__all__ = [
+    "degraded_config",
+    "SchemeFlip",
+    "DegradeReport",
+    "geometry_flips",
+    "replan_degraded",
+]
 
 
 def degraded_config(config: AcceleratorConfig, mask: PEMask) -> AcceleratorConfig:
@@ -102,6 +108,40 @@ class DegradeReport:
         }
 
 
+def geometry_flips(
+    net: Network,
+    base_config: AcceleratorConfig,
+    derived_config: AcceleratorConfig,
+    policy: str = "adaptive-2",
+) -> Tuple[SchemeFlip, ...]:
+    """Layers whose Algorithm 2 verdict changes between two geometries.
+
+    The shared core of degraded-mode replanning and chip partitioning
+    (:mod:`repro.tenancy`): any *effective geometry* change — PE masks,
+    partition carve-outs, buffer reshares — is re-run through the adaptive
+    selector, and the interesting output is which layers flipped scheme
+    and why.  Both passes go through the schedule cache; distinct configs
+    have distinct cache keys, so the base entries are never polluted.
+    """
+    improved = policy != "adaptive-1"
+    base_choices = choices_for_network(net, base_config, improved_inter=improved)
+    derived_choices = choices_for_network(
+        net, derived_config, improved_inter=improved
+    )
+    flips: List[SchemeFlip] = []
+    for before, after in zip(base_choices, derived_choices):
+        if before.scheme != after.scheme:
+            flips.append(
+                SchemeFlip(
+                    layer_name=before.layer_name,
+                    healthy_scheme=before.scheme,
+                    degraded_scheme=after.scheme,
+                    reason=after.reason,
+                )
+            )
+    return tuple(flips)
+
+
 def replan_degraded(
     net: Network,
     config: AcceleratorConfig,
@@ -117,20 +157,7 @@ def replan_degraded(
     the cache on both sides).
     """
     degraded = degraded_config(config, mask)
-    improved = policy != "adaptive-1"
-    healthy_choices = choices_for_network(net, config, improved_inter=improved)
-    degraded_choices = choices_for_network(net, degraded, improved_inter=improved)
-    flips: List[SchemeFlip] = []
-    for before, after in zip(healthy_choices, degraded_choices):
-        if before.scheme != after.scheme:
-            flips.append(
-                SchemeFlip(
-                    layer_name=before.layer_name,
-                    healthy_scheme=before.scheme,
-                    degraded_scheme=after.scheme,
-                    reason=after.reason,
-                )
-            )
+    flips = geometry_flips(net, config, degraded, policy)
     healthy_run = plan_network(net, config, policy, include_non_conv=include_non_conv)
     degraded_run = plan_network(net, degraded, policy, include_non_conv=include_non_conv)
     return DegradeReport(
@@ -139,7 +166,7 @@ def replan_degraded(
         mask=mask,
         healthy_config=config,
         degraded_cfg=degraded,
-        flips=tuple(flips),
+        flips=flips,
         healthy_ms=healthy_run.milliseconds(),
         degraded_ms=degraded_run.milliseconds(),
     )

@@ -42,6 +42,7 @@ __all__ = [
     "ReplicaState",
     "ServingEngine",
     "ServingReport",
+    "per_chip_rollup",
     "ROUTING_KINDS",
 ]
 
@@ -50,17 +51,26 @@ ROUTING_KINDS = ("round-robin", "least-loaded")
 
 @dataclass
 class ReplicaState:
-    """One accelerator instance's occupancy bookkeeping."""
+    """One accelerator instance's occupancy bookkeeping.
+
+    A replica may be tagged with the physical ``chip`` hosting it — two
+    replicas sharing a chip model co-resident partitions
+    (:mod:`repro.tenancy`), and ``chip_share`` is the fraction of that
+    chip's compute the replica owns (1.0 for a whole chip).  Untagged
+    replicas behave exactly as before; the tag only adds accounting.
+    """
 
     rid: int
     free_at: float = 0.0
     busy_s: float = 0.0
     batches: int = 0
     completed: int = 0
+    chip: Optional[str] = None
+    chip_share: float = 1.0
 
     def detail(self, makespan_s: float) -> Dict[str, object]:
         """JSON-friendly per-replica stats (the health checker's input)."""
-        return {
+        out = {
             "rid": self.rid,
             "busy_ms": round(self.busy_s * 1e3, 6),
             "batches": self.batches,
@@ -69,6 +79,82 @@ class ReplicaState:
             if makespan_s
             else 0.0,
         }
+        if self.chip is not None:
+            out["chip"] = self.chip
+            out["chip_share"] = round(self.chip_share, 6)
+        return out
+
+
+def _apply_chip_tags(
+    replicas: Sequence[ReplicaState],
+    chip_map: Optional[Dict[int, str]],
+    chip_shares: Optional[Dict[int, float]],
+) -> None:
+    """Annotate replicas with their hosting chip (validated)."""
+    if chip_shares and not chip_map:
+        raise ConfigError("chip_shares requires chip_map")
+    if not chip_map:
+        return
+    rids = {r.rid for r in replicas}
+    for rid in sorted(chip_map):
+        if rid not in rids:
+            raise ConfigError(
+                f"chip_map names unknown replica rid {rid!r}; "
+                f"valid rids: {sorted(rids)}"
+            )
+    for rid, share in sorted((chip_shares or {}).items()):
+        if rid not in chip_map:
+            raise ConfigError(
+                f"chip_shares names rid {rid!r} that has no chip_map entry"
+            )
+        if not 0 < share <= 1:
+            raise ConfigError(
+                f"chip share for rid {rid!r} must be in (0, 1], got {share!r}"
+            )
+    for replica in replicas:
+        chip = chip_map.get(replica.rid)
+        if chip is not None:
+            replica.chip = chip
+            replica.chip_share = (chip_shares or {}).get(replica.rid, 1.0)
+
+
+def per_chip_rollup(
+    replicas: Sequence[ReplicaState],
+    chip_spans: Dict[str, float],
+) -> Dict[str, Dict[str, object]]:
+    """Aggregate chip-tagged replicas by physical chip, counted once.
+
+    ``chip_spans`` maps each chip to the seconds it was provisioned
+    (makespan for a static fleet, the co-resident lifetime envelope for an
+    adaptive one).  Co-resident partitions contribute their busy time
+    weighted by their ``chip_share``, so a chip whose two half-partitions
+    are both saturated reports utilization 1.0 — and its chip-seconds are
+    charged once, not once per partition.
+    """
+    chips: Dict[str, Dict[str, object]] = {}
+    for replica in sorted(replicas, key=lambda r: r.rid):
+        if replica.chip is None:
+            continue
+        entry = chips.setdefault(
+            replica.chip,
+            {"replicas": [], "busy_ms": 0.0, "weighted_busy_s": 0.0},
+        )
+        entry["replicas"].append(replica.rid)
+        entry["busy_ms"] += replica.busy_s * 1e3
+        entry["weighted_busy_s"] += replica.busy_s * replica.chip_share
+    out: Dict[str, Dict[str, object]] = {}
+    for chip in sorted(chips):
+        entry = chips[chip]
+        span = chip_spans.get(chip, 0.0)
+        out[chip] = {
+            "replicas": entry["replicas"],
+            "busy_ms": round(entry["busy_ms"], 6),
+            "chip_seconds": round(span, 6),
+            "utilization": round(entry["weighted_busy_s"] / span, 6)
+            if span
+            else 0.0,
+        }
+    return out
 
 
 class _Router:
@@ -127,6 +213,9 @@ class ServingEngine:
         routing: str = "round-robin",
         plan_policy: str = "adaptive-2",
         coster: Optional[BatchCoster] = None,
+        replica_costers: Optional[Sequence[BatchCoster]] = None,
+        chip_map: Optional[Dict[int, str]] = None,
+        chip_shares: Optional[Dict[int, float]] = None,
     ) -> None:
         if isinstance(replicas, bool) or not isinstance(replicas, int):
             raise ConfigError(
@@ -139,6 +228,11 @@ class ServingEngine:
             raise ConfigError(
                 f"unknown routing {routing!r}; choose from {ROUTING_KINDS}"
             )
+        if replica_costers is not None and len(replica_costers) != replicas:
+            raise ConfigError(
+                f"replica_costers has {len(replica_costers)} entries for "
+                f"{replicas} replicas; one coster per replica (rid order)"
+            )
         self.config = config
         self.batch_policy = batch_policy
         self.queue_policy = queue_policy
@@ -146,6 +240,13 @@ class ServingEngine:
         self.routing = routing
         self.plan_policy = plan_policy
         self.coster = coster or BatchCoster(config, policy=plan_policy)
+        #: heterogeneous fleets: per-rid coster overrides (mixed chip
+        #: classes, partitions); rid order, None entries fall back
+        self.replica_costers = (
+            list(replica_costers) if replica_costers is not None else None
+        )
+        self.chip_map = dict(chip_map) if chip_map else None
+        self.chip_shares = dict(chip_shares) if chip_shares else None
 
     # -- the event loop ---------------------------------------------------
 
@@ -187,6 +288,7 @@ class ServingEngine:
         queue = AdmissionQueue(self.queue_policy)
         metrics = MetricsCollector()
         replicas = [ReplicaState(rid) for rid in range(self.n_replicas)]
+        _apply_chip_tags(replicas, self.chip_map, self.chip_shares)
         router = _Router(replicas, self.routing)
 
         t = 0.0
@@ -225,7 +327,12 @@ class ServingEngine:
                     metrics.record_shed(event.request.tenant, event.reason)
                 if not batch:
                     continue
-                service = self.coster.batch_seconds(network, len(batch))
+                coster = self.coster
+                if self.replica_costers is not None:
+                    override = self.replica_costers[replica.rid]
+                    if override is not None:
+                        coster = override
+                service = coster.batch_seconds(network, len(batch))
                 finish = t + service
                 replica.free_at = finish
                 replica.busy_s += service
@@ -253,6 +360,12 @@ class ServingEngine:
         summary["per_replica"] = [
             r.detail(summary["makespan_s"]) for r in replicas
         ]
+        if any(r.chip is not None for r in replicas):
+            makespan = summary["makespan_s"]
+            spans = {
+                r.chip: makespan for r in replicas if r.chip is not None
+            }
+            summary["per_chip"] = per_chip_rollup(replicas, spans)
         summary["engine"] = {
             "config": self.config.name,
             "plan_policy": self.plan_policy,
@@ -344,6 +457,9 @@ class AdaptiveServingEngine:
         routing: str = "round-robin",
         plan_policy: str = "adaptive-2",
         coster: Optional[BatchCoster] = None,
+        replica_costers: Optional[Sequence[BatchCoster]] = None,
+        chip_map: Optional[Dict[int, str]] = None,
+        chip_shares: Optional[Dict[int, float]] = None,
     ) -> None:
         if isinstance(replicas, bool) or not isinstance(replicas, int):
             raise ConfigError(
@@ -356,6 +472,11 @@ class AdaptiveServingEngine:
             raise ConfigError(
                 f"unknown routing {routing!r}; choose from {ROUTING_KINDS}"
             )
+        if replica_costers is not None and len(replica_costers) != replicas:
+            raise ConfigError(
+                f"replica_costers has {len(replica_costers)} entries for "
+                f"{replicas} replicas; one coster per replica (rid order)"
+            )
         self.config = config
         self.batch_policy = batch_policy
         self.queue_policy = queue_policy
@@ -365,6 +486,13 @@ class AdaptiveServingEngine:
         self.replicas: List[AdaptiveReplica] = [
             AdaptiveReplica(rid) for rid in range(replicas)
         ]
+        _apply_chip_tags(self.replicas, chip_map, chip_shares)
+        #: per-rid coster overrides (mixed fleets); missing rids fall back
+        self._replica_costers: Dict[int, BatchCoster] = {}
+        if replica_costers is not None:
+            for rid, override in enumerate(replica_costers):
+                if override is not None:
+                    self._replica_costers[rid] = override
         self._next_rid = replicas
         self._queue = AdmissionQueue(queue_policy)
         self.metrics = MetricsCollector()
@@ -420,14 +548,35 @@ class AdaptiveServingEngine:
                 )
         self._pending.extend(fresh)
 
-    def add_replica(self) -> int:
-        """Provision one replica now; returns its (never-reused) rid."""
+    def add_replica(
+        self,
+        chip: Optional[str] = None,
+        chip_share: float = 1.0,
+        coster: Optional[BatchCoster] = None,
+    ) -> int:
+        """Provision one replica now; returns its (never-reused) rid.
+
+        ``chip``/``chip_share`` tag the replica with its hosting chip for
+        shared-chip accounting (a partition joining an already-provisioned
+        chip), and ``coster`` overrides the fleet coster so mixed chip
+        classes can scale side by side.
+        """
+        if not 0 < chip_share <= 1:
+            raise ConfigError(
+                f"chip_share must be in (0, 1], got {chip_share!r}"
+            )
         rid = self._next_rid
         self._next_rid += 1
-        self.replicas.append(
-            AdaptiveReplica(rid, free_at=self._now, added_s=self._now)
+        state = AdaptiveReplica(rid, free_at=self._now, added_s=self._now)
+        if chip is not None:
+            state.chip = chip
+            state.chip_share = chip_share
+        self.replicas.append(state)
+        if coster is not None:
+            self._replica_costers[rid] = coster
+        self.fleet_events.append(
+            (self._now, "add", rid, chip if chip is not None else "")
         )
-        self.fleet_events.append((self._now, "add", rid, ""))
         return rid
 
     def drain_replica(self, rid: int, reason: str = "scale-down") -> float:
@@ -549,7 +698,8 @@ class AdaptiveServingEngine:
                     self.metrics.record_shed(event.request.tenant, event.reason)
                 if not batch:
                     continue
-                service = self.coster.batch_seconds(network, len(batch))
+                coster = self._replica_costers.get(replica.rid, self.coster)
+                service = coster.batch_seconds(network, len(batch))
                 service *= replica.service_multiplier(t)
                 finish = t + service
                 replica.free_at = finish
@@ -619,6 +769,20 @@ class AdaptiveServingEngine:
         summary["per_replica"] = [
             r.detail(makespan_s) for r in self.replicas
         ]
+        if any(r.chip is not None for r in self.replicas):
+            # a chip is held from its first co-resident partition's arrival
+            # to its last one's retirement — charged once, not per replica
+            windows: Dict[str, Tuple[float, float]] = {}
+            for r in self.replicas:
+                if r.chip is None:
+                    continue
+                end = r.retired_s if r.retired_s is not None else makespan_s
+                lo, hi = windows.get(r.chip, (math.inf, 0.0))
+                windows[r.chip] = (min(lo, r.added_s), max(hi, end))
+            chip_spans = {
+                chip: max(0.0, hi - lo) for chip, (lo, hi) in windows.items()
+            }
+            summary["per_chip"] = per_chip_rollup(self.replicas, chip_spans)
         summary["fleet"] = {
             "chip_seconds": round(chip_s, 6),
             "peak_replicas": peak,

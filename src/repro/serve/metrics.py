@@ -118,6 +118,33 @@ class MetricsCollector:
         self.failed_counts[reason] = self.failed_counts.get(reason, 0) + 1
         self._failed_by_tenant[tenant] = self._failed_by_tenant.get(tenant, 0) + 1
 
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold another collector's records into this one.
+
+        The tenancy layer serves co-resident partitions as independent
+        lanes, one collector each, then merges them into one fleet-level
+        summary.  Completions are re-sorted by request id afterwards (rids
+        are globally unique per workload), so the merged summary is
+        independent of lane order.
+        """
+        self.completed.extend(other.completed)
+        self.completed.sort(key=lambda r: r.rid)
+        self.batch_sizes.extend(other.batch_sizes)
+        for reason, count in other.shed_counts.items():
+            self.shed_counts[reason] = self.shed_counts.get(reason, 0) + count
+        for tenant, count in other._shed_by_tenant.items():
+            self._shed_by_tenant[tenant] = (
+                self._shed_by_tenant.get(tenant, 0) + count
+            )
+        for reason, count in other.failed_counts.items():
+            self.failed_counts[reason] = (
+                self.failed_counts.get(reason, 0) + count
+            )
+        for tenant, count in other._failed_by_tenant.items():
+            self._failed_by_tenant[tenant] = (
+                self._failed_by_tenant.get(tenant, 0) + count
+            )
+
     # -- reduction --------------------------------------------------------
 
     @property

@@ -32,12 +32,15 @@ from repro.errors import ConfigError
 
 __all__ = [
     "TenantSpec",
+    "MixedTenantSpec",
     "Request",
     "parse_mix",
+    "parse_tenant_mix",
     "poisson_arrivals",
     "bursty_arrivals",
     "diurnal_arrivals",
     "diurnal_rate",
+    "mixed_arrivals",
     "trace_arrivals",
     "ARRIVAL_KINDS",
 ]
@@ -80,6 +83,176 @@ class Request:
 
     def slo_s(self) -> float:
         return self.deadline_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class MixedTenantSpec:
+    """One traffic source whose requests draw from a *mix* of networks.
+
+    A production tenant rarely pins a single model: an app ships a big
+    and a small variant, or A/B-tests architectures inside one request
+    stream.  ``mix`` is a tuple of ``(network, weight)`` pairs — relative
+    shares of this tenant's traffic — and ``weight`` is the tenant's
+    share of the overall stream, exactly like :class:`TenantSpec`.
+    """
+
+    name: str
+    mix: Tuple[Tuple[str, float], ...]
+    weight: float = 1.0
+    slo_ms: float = DEFAULT_SLO_MS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("mixed tenant needs a non-empty name")
+        if not self.mix:
+            raise ConfigError(
+                f"tenant {self.name!r}: network mix must name at least one network"
+            )
+        seen = set()
+        for network, share in self.mix:
+            if network in seen:
+                raise ConfigError(
+                    f"tenant {self.name!r}: duplicate network {network!r} in mix"
+                )
+            seen.add(network)
+            if share <= 0:
+                raise ConfigError(
+                    f"tenant {self.name!r}: network {network!r} share must be "
+                    f"positive, got {share!r}"
+                )
+        if self.weight <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: weight must be positive, got {self.weight!r}"
+            )
+        if self.slo_ms <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: slo_ms must be positive, got {self.slo_ms!r}"
+            )
+
+    @property
+    def networks(self) -> Tuple[str, ...]:
+        return tuple(network for network, _ in self.mix)
+
+
+def _validate_mixed_tenants(tenants: Sequence[MixedTenantSpec]) -> None:
+    from repro.nn.zoo import NETWORK_BUILDERS
+
+    if not tenants:
+        raise ConfigError("workload needs at least one tenant")
+    seen = set()
+    for t in tenants:
+        if t.name in seen:
+            raise ConfigError(f"duplicate tenant name {t.name!r}")
+        seen.add(t.name)
+        for network in t.networks:
+            if network not in NETWORK_BUILDERS:
+                raise ConfigError(
+                    f"tenant {t.name!r}: unknown network {network!r}; "
+                    f"choose from {sorted(NETWORK_BUILDERS)}"
+                )
+
+
+def parse_tenant_mix(
+    spec: str, slo_ms: float = DEFAULT_SLO_MS
+) -> List[MixedTenantSpec]:
+    """Parse a per-tenant network-mix spec.
+
+    Grammar (entries comma-separated)::
+
+        name=network[:share][/network[:share]...][@tenant_weight]
+
+    e.g. ``"acme=alexnet:3/vgg:1@2,beta=nin"`` — tenant ``acme`` carries
+    twice ``beta``'s traffic and splits it 3:1 between AlexNet and VGG.
+    """
+    tenants: List[MixedTenantSpec] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, sep, rest = entry.partition("=")
+        if not sep or not name or not rest:
+            raise ConfigError(
+                f"bad tenant-mix entry {entry!r}; expected "
+                "'name=network[:share]/...[@weight]'"
+            )
+        rest, _, weight_s = rest.partition("@")
+        try:
+            weight = float(weight_s) if weight_s else 1.0
+        except ValueError:
+            raise ConfigError(
+                f"bad tenant weight {weight_s!r} in entry {entry!r}"
+            ) from None
+        mix: List[Tuple[str, float]] = []
+        for part in rest.split("/"):
+            network, _, share_s = part.partition(":")
+            try:
+                share = float(share_s) if share_s else 1.0
+            except ValueError:
+                raise ConfigError(
+                    f"bad network share {share_s!r} in entry {entry!r}"
+                ) from None
+            mix.append((network.strip(), share))
+        tenants.append(
+            MixedTenantSpec(
+                name=name.strip(), mix=tuple(mix), weight=weight, slo_ms=slo_ms
+            )
+        )
+    _validate_mixed_tenants(tenants)
+    return tenants
+
+
+def mixed_arrivals(
+    rate: float,
+    duration_s: float,
+    tenants: Sequence[MixedTenantSpec],
+    seed: int = 0,
+) -> List[Request]:
+    """Poisson traffic where each tenant spreads over a network mix.
+
+    One arrival stream at mean ``rate``: each request draws its tenant by
+    tenant weight, then its network by that tenant's mix shares — two RNG
+    draws per arrival from one seeded generator, so the same seed always
+    produces the identical request list.  This is the multi-tenant input
+    the tenancy and control benchmarks are judged on: a partition or chip
+    pinned to a tenant must absorb *that tenant's whole mix*, not one
+    network.
+    """
+    if rate <= 0:
+        raise ConfigError(f"arrival rate must be positive, got {rate!r}")
+    if duration_s <= 0:
+        raise ConfigError(f"duration must be positive, got {duration_s!r}")
+    _validate_mixed_tenants(tenants)
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    t = rng.expovariate(rate)
+    while t < duration_s:
+        total = sum(tenant.weight for tenant in tenants)
+        x = rng.random() * total
+        picked = tenants[-1]
+        for tenant in tenants:
+            x -= tenant.weight
+            if x < 0:
+                picked = tenant
+                break
+        share_total = sum(share for _, share in picked.mix)
+        y = rng.random() * share_total
+        network = picked.mix[-1][0]
+        for net, share in picked.mix:
+            y -= share
+            if y < 0:
+                network = net
+                break
+        requests.append(
+            Request(
+                rid=len(requests),
+                tenant=picked.name,
+                network=network,
+                arrival_s=t,
+                deadline_s=t + picked.slo_ms / 1e3,
+            )
+        )
+        t += rng.expovariate(rate)
+    return requests
 
 
 def _validate_tenants(tenants: Sequence[TenantSpec]) -> None:

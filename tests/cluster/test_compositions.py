@@ -1,0 +1,68 @@
+"""Heterogeneous shared-queue compositions (`compare_compositions`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32
+from repro.cluster import compare_compositions
+from repro.errors import ConfigError
+from repro.serve.workload import TenantSpec, poisson_arrivals
+
+TENANTS = [TenantSpec("acme", "alexnet")]
+
+
+def _requests(rate=60.0, duration=3.0, seed=9):
+    return poisson_arrivals(rate, duration, TENANTS, seed=seed)
+
+
+COMPOSITIONS = {
+    "mixed": [(CONFIG_32_32, 1), (CONFIG_16_16, 2)],
+    "small-only": [(CONFIG_16_16, 4)],
+}
+
+
+class TestCompareCompositions:
+    def test_structure_and_winner(self):
+        out = compare_compositions(COMPOSITIONS, _requests(), 3.0)
+        assert set(out["compositions"]) == {"mixed", "small-only"}
+        assert sorted(out["ranking"]) == ["mixed", "small-only"]
+        assert out["winner"] == out["ranking"][0]
+
+    def test_per_chip_present_with_class_names(self):
+        out = compare_compositions(COMPOSITIONS, _requests(), 3.0)
+        per_chip = out["compositions"]["mixed"]["per_chip"]
+        assert set(per_chip) == {
+            "32-32 g0-0",
+            "16-16 g1-0",
+            "16-16 g1-1",
+        }
+
+    def test_conservation_per_composition(self):
+        requests = _requests()
+        out = compare_compositions(COMPOSITIONS, requests, 3.0)
+        for summary in out["compositions"].values():
+            assert summary["offered"] == len(requests)
+            assert (
+                summary["completed"] + summary["shed"] == summary["offered"]
+            )
+
+    def test_deterministic(self):
+        a = compare_compositions(COMPOSITIONS, _requests(), 3.0)
+        b = compare_compositions(COMPOSITIONS, _requests(), 3.0)
+        assert a == b
+
+    def test_empty_compositions(self):
+        with pytest.raises(ConfigError, match="at least one composition"):
+            compare_compositions({}, _requests(), 3.0)
+
+    def test_empty_group_list(self):
+        with pytest.raises(ConfigError, match="no chip groups"):
+            compare_compositions({"bad": []}, _requests(), 3.0)
+
+    @pytest.mark.parametrize("count", [0, -1, True, 2.0])
+    def test_bad_count(self, count):
+        with pytest.raises(ConfigError, match="count must be"):
+            compare_compositions(
+                {"bad": [(CONFIG_16_16, count)]}, _requests(), 3.0
+            )

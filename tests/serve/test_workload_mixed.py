@@ -1,0 +1,134 @@
+"""Mixed-network tenant streams: grammar, validation, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.workload import (
+    MixedTenantSpec,
+    mixed_arrivals,
+    parse_tenant_mix,
+)
+
+
+class TestSpec:
+    def test_networks_property(self):
+        spec = MixedTenantSpec(
+            name="a", mix=(("alexnet", 3.0), ("vgg", 1.0))
+        )
+        assert spec.networks == ("alexnet", "vgg")
+
+    def test_empty_mix(self):
+        with pytest.raises(ConfigError, match="at least one network"):
+            MixedTenantSpec(name="a", mix=())
+
+    def test_duplicate_network_in_mix(self):
+        with pytest.raises(ConfigError, match="duplicate network 'alexnet'"):
+            MixedTenantSpec(
+                name="a", mix=(("alexnet", 1.0), ("alexnet", 2.0))
+            )
+
+    @pytest.mark.parametrize("share", [0.0, -1.0])
+    def test_bad_share(self, share):
+        with pytest.raises(ConfigError, match="share must be"):
+            MixedTenantSpec(name="a", mix=(("alexnet", share),))
+
+    def test_bad_weight(self):
+        with pytest.raises(ConfigError, match="weight"):
+            MixedTenantSpec(name="a", mix=(("alexnet", 1.0),), weight=0.0)
+
+
+class TestGrammar:
+    def test_full_grammar(self):
+        tenants = parse_tenant_mix("acme=alexnet:3/vgg:1@2,beta=nin")
+        assert len(tenants) == 2
+        acme, beta = tenants
+        assert acme.name == "acme"
+        assert acme.mix == (("alexnet", 3.0), ("vgg", 1.0))
+        assert acme.weight == 2.0
+        assert beta.mix == (("nin", 1.0),)
+        assert beta.weight == 1.0
+
+    def test_share_defaults_to_one(self):
+        (t,) = parse_tenant_mix("a=alexnet/nin")
+        assert t.mix == (("alexnet", 1.0), ("nin", 1.0))
+
+    def test_slo_flows_through(self):
+        (t,) = parse_tenant_mix("a=alexnet", slo_ms=100.0)
+        assert t.slo_ms == 100.0
+
+    def test_missing_equals(self):
+        with pytest.raises(ConfigError, match="bad tenant-mix entry"):
+            parse_tenant_mix("alexnet")
+
+    def test_bad_weight_string(self):
+        with pytest.raises(ConfigError, match="bad tenant weight"):
+            parse_tenant_mix("a=alexnet@heavy")
+
+    def test_bad_share_string(self):
+        with pytest.raises(ConfigError, match="bad network share"):
+            parse_tenant_mix("a=alexnet:lots")
+
+    def test_unknown_network_names_choices(self):
+        with pytest.raises(ConfigError) as err:
+            parse_tenant_mix("a=resnet")
+        message = str(err.value)
+        assert "unknown network 'resnet'" in message
+        assert "alexnet" in message  # the valid choices are listed
+
+    def test_duplicate_tenant_names(self):
+        with pytest.raises(ConfigError, match="duplicate tenant name 'a'"):
+            parse_tenant_mix("a=alexnet,a=nin")
+
+
+class TestMixedArrivals:
+    TENANTS = parse_tenant_mix("acme=alexnet:3/nin:1@3,beta=nin")
+
+    def test_same_seed_identical_stream(self):
+        a = mixed_arrivals(50.0, 4.0, self.TENANTS, seed=11)
+        b = mixed_arrivals(50.0, 4.0, self.TENANTS, seed=11)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = mixed_arrivals(50.0, 4.0, self.TENANTS, seed=11)
+        b = mixed_arrivals(50.0, 4.0, self.TENANTS, seed=12)
+        assert a != b
+
+    def test_draws_are_valid(self):
+        requests = mixed_arrivals(80.0, 4.0, self.TENANTS, seed=0)
+        assert requests, "expected a non-empty stream"
+        by_name = {t.name: t for t in self.TENANTS}
+        for r in requests:
+            assert r.tenant in by_name
+            assert r.network in by_name[r.tenant].networks
+            assert 0.0 <= r.arrival_s < 4.0
+            assert r.deadline_s > r.arrival_s
+        # rids are dense and ordered, arrivals non-decreasing
+        assert [r.rid for r in requests] == list(range(len(requests)))
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_weights_shape_traffic(self):
+        requests = mixed_arrivals(200.0, 10.0, self.TENANTS, seed=1)
+        acme = sum(1 for r in requests if r.tenant == "acme")
+        # acme carries 3x beta's weight; allow generous sampling slack
+        assert acme / len(requests) == pytest.approx(0.75, abs=0.1)
+
+    def test_mix_shapes_networks(self):
+        requests = mixed_arrivals(200.0, 10.0, self.TENANTS, seed=1)
+        acme = [r for r in requests if r.tenant == "acme"]
+        alex = sum(1 for r in acme if r.network == "alexnet")
+        assert alex / len(acme) == pytest.approx(0.75, abs=0.1)
+
+    def test_bad_rate(self):
+        with pytest.raises(ConfigError, match="rate"):
+            mixed_arrivals(0.0, 1.0, self.TENANTS)
+
+    def test_bad_duration(self):
+        with pytest.raises(ConfigError, match="duration"):
+            mixed_arrivals(10.0, -1.0, self.TENANTS)
+
+    def test_empty_tenants(self):
+        with pytest.raises(ConfigError, match="at least one tenant"):
+            mixed_arrivals(10.0, 1.0, [])

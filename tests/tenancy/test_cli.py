@@ -1,0 +1,94 @@
+"""`python -m repro tenancy` CLI tests."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ConfigError
+
+_FAST = ["--rate", "40", "--duration", "2", "--seed", "1"]
+
+
+class TestPartitionMode:
+    def test_table_output(self, capsys):
+        assert main(["tenancy", "partition"] + _FAST) == 0
+        out = capsys.readouterr().out
+        assert "carved into" in out
+        assert "worst-tenant p95 ms" in out
+        assert "partitioned" in out and "timemux" in out
+        assert "partitioned co-residency" in out
+
+    def test_json_stdout_is_machine_readable(self, capsys):
+        assert main(["tenancy", "partition", "--json", "-"] + _FAST) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["chip"] == "32-32"
+        assert "partitioned" in payload and "timemux" in payload
+        assert "worst_tenant_p95_ms" in payload["headline"]
+
+    def test_explicit_partitions(self, capsys):
+        assert (
+            main(
+                ["tenancy", "partition", "--partitions", "a:16x32,b:16x32",
+                 "--json", "-"] + _FAST
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        names = [p["name"] for p in payload["scenario"]["partitions"]]
+        assert names == ["a", "b"]
+
+    def test_bad_partition_entry(self):
+        with pytest.raises(ConfigError, match="bad partition entry"):
+            main(["tenancy", "partition", "--partitions", "a:16"] + _FAST)
+
+    def test_json_to_file(self, capsys, tmp_path):
+        target = tmp_path / "tenancy.json"
+        assert (
+            main(["tenancy", "partition", "--json", str(target)] + _FAST) == 0
+        )
+        payload = json.loads(target.read_text())
+        assert "headline" in payload
+
+
+class TestFleetMode:
+    _FLEETS = [
+        "--fleet", "het=big:32-32:1,small:16-16:4",
+        "--fleet", "homog=small:16-16:8",
+    ]
+
+    def test_ranked_table(self, capsys):
+        assert (
+            main(
+                ["tenancy", "fleet", "--tenants", "a=alexnet,b=nin"]
+                + self._FLEETS + _FAST
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "het" in out and "homog" in out
+        assert "winner:" in out
+
+    def test_json_stdout(self, capsys):
+        assert (
+            main(
+                ["tenancy", "fleet", "--tenants", "a=alexnet,b=nin",
+                 "--json", "-"] + self._FLEETS + _FAST
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["fleets"]) == {"het", "homog"}
+        assert payload["headline"]["winner"] in {"het", "homog"}
+
+    def test_fleet_mode_requires_fleet(self):
+        with pytest.raises(ConfigError, match="--fleet"):
+            main(["tenancy", "fleet"] + _FAST)
+
+    def test_bad_fleet_entry(self):
+        with pytest.raises(ConfigError, match="bad --fleet"):
+            main(["tenancy", "fleet", "--fleet", "nospec"] + _FAST)
+
+    def test_unknown_tenant_network(self):
+        with pytest.raises(ConfigError, match="unknown network"):
+            main(["tenancy", "partition", "--tenants", "a=resnet"] + _FAST)

@@ -1,0 +1,121 @@
+"""Partition validation: tiling, budgets, fractions, degenerate identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import CONFIG_16_16, CONFIG_32_32
+from repro.errors import ConfigError
+from repro.tenancy import (
+    PartitionSpec,
+    even_partitions,
+    full_chip_spec,
+    partition_chip,
+)
+
+
+class TestSpecValidation:
+    def test_empty_name(self):
+        with pytest.raises(ConfigError, match="name"):
+            PartitionSpec(name="", tin=8, tout=8)
+
+    @pytest.mark.parametrize("bad", [0, -4, True, 2.5])
+    def test_bad_dims(self, bad):
+        with pytest.raises(ConfigError, match="'a'"):
+            PartitionSpec(name="a", tin=bad, tout=8)
+
+    @pytest.mark.parametrize("frac", [0.0, -0.5, 1.5])
+    def test_bad_fractions(self, frac):
+        with pytest.raises(ConfigError, match="buffer_fraction"):
+            PartitionSpec(name="a", tin=8, tout=8, buffer_fraction=frac)
+
+
+class TestPartitionChip:
+    def test_even_split_tiles(self):
+        subs = partition_chip(CONFIG_32_32, even_partitions(CONFIG_32_32, 2))
+        assert [s.config.name for s in subs] == ["16-32", "16-32"]
+        assert [s.share for s in subs] == [0.5, 0.5]
+
+    def test_buffer_shares_scale_with_area(self):
+        subs = partition_chip(CONFIG_32_32, even_partitions(CONFIG_32_32, 2))
+        for sub in subs:
+            assert (
+                sub.config.input_buffer_bytes
+                == CONFIG_32_32.input_buffer_bytes // 2
+            )
+            assert (
+                sub.config.dram_words_per_cycle
+                == CONFIG_32_32.dram_words_per_cycle / 2
+            )
+
+    def test_empty_specs(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            partition_chip(CONFIG_32_32, [])
+
+    def test_duplicate_names(self):
+        specs = [
+            PartitionSpec(name="a", tin=16, tout=32),
+            PartitionSpec(name="a", tin=16, tout=32),
+        ]
+        with pytest.raises(ConfigError, match="duplicate partition name 'a'"):
+            partition_chip(CONFIG_32_32, specs)
+
+    def test_dims_exceed_parent_names_partition(self):
+        specs = [PartitionSpec(name="wide", tin=64, tout=32)]
+        with pytest.raises(
+            ConfigError, match=r"partition 'wide' wants tin 64"
+        ):
+            partition_chip(CONFIG_32_32, specs)
+
+    def test_over_subscription_names_remaining_budget(self):
+        specs = [
+            PartitionSpec(name="a", tin=24, tout=32),
+            PartitionSpec(name="b", tin=16, tout=32),
+        ]
+        with pytest.raises(ConfigError) as err:
+            partition_chip(CONFIG_32_32, specs)
+        message = str(err.value)
+        assert "'b'" in message
+        assert "512 multipliers" in message
+        assert "256" in message and "1024" in message
+
+    def test_leftover_budget_is_an_error(self):
+        specs = [PartitionSpec(name="half", tin=16, tout=32)]
+        with pytest.raises(
+            ConfigError, match=r"leave 512 of 1024 multipliers unallocated"
+        ):
+            partition_chip(CONFIG_32_32, specs)
+
+    def test_explicit_fractions_must_sum_to_one(self):
+        specs = [
+            PartitionSpec(name="a", tin=16, tout=32, buffer_fraction=0.5),
+            PartitionSpec(name="b", tin=16, tout=32, buffer_fraction=0.6),
+        ]
+        with pytest.raises(ConfigError, match="buffer_fraction"):
+            partition_chip(CONFIG_32_32, specs)
+
+    def test_uneven_split_not_divisible(self):
+        with pytest.raises(ConfigError, match="divisible"):
+            even_partitions(CONFIG_32_32, 3)
+
+    def test_asymmetric_fractions_allowed(self):
+        specs = [
+            PartitionSpec(name="big", tin=24, tout=32, buffer_fraction=0.8),
+            PartitionSpec(name="small", tin=8, tout=32, buffer_fraction=0.2),
+        ]
+        subs = partition_chip(CONFIG_32_32, specs)
+        # buffers are floored to whole words
+        scaled = int(CONFIG_32_32.input_buffer_bytes * 0.8)
+        word = CONFIG_32_32.word_bytes
+        assert subs[0].config.input_buffer_bytes == scaled // word * word
+
+
+class TestDegenerate:
+    def test_full_chip_partition_equals_parent(self):
+        (sub,) = partition_chip(CONFIG_16_16, [full_chip_spec(CONFIG_16_16)])
+        assert sub.config == CONFIG_16_16
+        assert sub.share == 1.0
+
+    def test_full_chip_partition_equals_parent_32(self):
+        (sub,) = partition_chip(CONFIG_32_32, [full_chip_spec(CONFIG_32_32)])
+        assert sub.config == CONFIG_32_32
