@@ -31,6 +31,15 @@ tenancy {partition|fleet} [--tenants ...] [--rate 470] ...
     result against time-multiplexing the whole chip, or compare
     heterogeneous fleet compositions at equal cost (see
     ``docs/tenancy.md``).
+capacity [--tenants ...] [--rate 300] [--slo-target 0.95] ...
+    What-if capacity planning: search a deterministic deployment grid
+    (geometries x fleet sizes x replication/sharding/partitioning x
+    batching) against a traffic forecast, per-tenant SLOs, a chip-level
+    fault model and ABFT on/off; prune with analytic capacity bounds,
+    simulate the survivors, and rank by cost per million within-SLO
+    requests (see ``docs/capacity.md``).  The schedule cache persists
+    to ``.repro-plan-cache`` by default (``--no-persist-cache`` to
+    disable).
 integrity [--seed 0] [--flips 4] [--smoke] [--json PATH]
     Run the ABFT bit-flip injection sweep: detection / false-positive /
     correction rates per buffer site and scheme path, plus the costed
@@ -777,6 +786,80 @@ def cmd_tenancy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_capacity(args: argparse.Namespace) -> int:
+    import sys as _sys
+
+    from repro.capacity import (
+        CandidateGrid,
+        FaultModel,
+        ForecastSpec,
+        plan_capacity,
+        render_report,
+        report_to_json,
+    )
+
+    def _ints(spec: str):
+        return tuple(int(v) for v in spec.split(",") if v.strip())
+
+    def _strs(spec: str):
+        return tuple(v.strip() for v in spec.split(",") if v.strip())
+
+    grid = CandidateGrid(
+        geometries=_strs(args.geometries),
+        chip_counts=_ints(args.chips),
+        strategies=_strs(args.strategies),
+        groups=_ints(args.groups),
+        splits=_ints(args.splits),
+        max_batches=_ints(args.max_batches),
+        link_gbs=args.link_gbs,
+    )
+    forecast = ForecastSpec.parse(
+        args.tenants,
+        rate=args.rate,
+        duration_s=args.duration,
+        kind=args.forecast,
+        peak_rate=args.peak_rate if args.forecast == "diurnal" else 0.0,
+        day_s=args.day_s,
+        slo_ms=args.slo_ms,
+        seed=args.seed,
+    )
+    fault_model = None
+    if args.crashes or args.slowdowns or args.sdc_windows:
+        fault_model = FaultModel(
+            seed=args.fault_seed,
+            crashes=args.crashes,
+            slowdowns=args.slowdowns,
+            sdc_windows=args.sdc_windows,
+        )
+
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"  simulated {done}/{total} candidates", file=_sys.stderr)
+
+    report = plan_capacity(
+        grid,
+        forecast,
+        slo_target=args.slo_target,
+        fault_model=fault_model,
+        abft=args.abft,
+        plan_policy=args.policy,
+        prune=not args.no_prune,
+        persist_cache=not args.no_persist_cache,
+        cache_dir=args.cache_dir or None,
+        progress=progress,
+    )
+    if args.json == "-":
+        print(report_to_json(report), end="")
+        return 0
+    print(render_report(report, top=args.top))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report_to_json(report))
+        print(f"\ncapacity JSON written to {args.json}")
+    return 0
+
+
 def cmd_integrity(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
     from repro.integrity import run_sweep, sweep_to_json
@@ -1267,6 +1350,78 @@ def main(argv=None) -> int:
         help="write the rollup JSON here ('-' = stdout only)",
     )
 
+    p_cap = sub.add_parser(
+        "capacity",
+        help="what-if capacity planning: rank deployments vs SLOs/faults/cost",
+        parents=[perf_opts],
+    )
+    p_cap.add_argument(
+        "--tenants",
+        default="acme=alexnet:9/nin:1,beta=alexnet:4/nin:1",
+        help='per-tenant network mixes, e.g. "acme=alexnet:3/vgg:1@2,beta=nin"',
+    )
+    p_cap.add_argument("--rate", type=float, default=300.0, help="mean arrival rate, req/s")
+    p_cap.add_argument("--duration", type=float, default=8.0, help="forecast window, s")
+    p_cap.add_argument(
+        "--forecast",
+        default="steady",
+        choices=["steady", "diurnal"],
+        help="arrival shape (diurnal sweeps --rate (trough) to --peak-rate)",
+    )
+    p_cap.add_argument("--peak-rate", type=float, default=0.0, help="diurnal crest rate, req/s")
+    p_cap.add_argument("--day-s", type=float, default=8.0, help="seconds per simulated day")
+    p_cap.add_argument("--seed", type=int, default=1, help="workload RNG seed")
+    p_cap.add_argument("--slo-ms", type=float, default=250.0, help="per-request latency SLO")
+    p_cap.add_argument(
+        "--slo-target", type=float, default=0.95, help="required deadline-hit rate per tenant"
+    )
+    p_cap.add_argument(
+        "--geometries", default="16-16,32-32", help="chip geometries, comma-separated"
+    )
+    p_cap.add_argument("--chips", default="1,2,4", help="fleet sizes, comma-separated")
+    p_cap.add_argument(
+        "--strategies",
+        default="replicated,pipeline,data-parallel,partitioned",
+        help="deployment organisations to search, comma-separated",
+    )
+    p_cap.add_argument("--groups", default="2", help="chips per shard group options")
+    p_cap.add_argument("--splits", default="2", help="partitions per chip options")
+    p_cap.add_argument("--max-batches", default="1,16", help="batching cap options")
+    p_cap.add_argument("--link-gbs", type=float, default=25.0, help="inter-chip link GB/s")
+    p_cap.add_argument("--fault-seed", type=int, default=1, help="fault schedule seed")
+    p_cap.add_argument("--crashes", type=int, default=0, help="chip fail-stops to inject")
+    p_cap.add_argument("--slowdowns", type=int, default=0, help="chip fail-slow windows")
+    p_cap.add_argument(
+        "--sdc-windows", type=int, default=0, help="silent-data-corruption windows"
+    )
+    p_cap.add_argument(
+        "--abft", action="store_true", help="serve with ABFT verification on every batch"
+    )
+    p_cap.add_argument("--policy", default="adaptive-2", choices=POLICY_NAMES)
+    p_cap.add_argument(
+        "--no-prune", action="store_true", help="simulate every candidate (skip bounds pruning)"
+    )
+    p_cap.add_argument(
+        "--no-persist-cache",
+        action="store_true",
+        help="do not persist the schedule cache to disk for this run",
+    )
+    p_cap.add_argument(
+        "--cache-dir",
+        default="",
+        help=f"plan-cache directory (default {'.repro-plan-cache'!r} or $REPRO_PLAN_CACHE_DIR)",
+    )
+    p_cap.add_argument(
+        "--progress", action="store_true", help="log per-candidate progress to stderr"
+    )
+    p_cap.add_argument("--top", type=int, default=0, help="show only the N best deployments")
+    p_cap.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the ranked report JSON here ('-' = stdout only)",
+    )
+
     p_int = sub.add_parser(
         "integrity",
         help="run the ABFT bit-flip injection sweep",
@@ -1338,6 +1493,7 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "integrity": cmd_integrity,
         "tenancy": cmd_tenancy,
+        "capacity": cmd_capacity,
     }
 
     from repro.perf import schedule_cache, set_default_jobs

@@ -19,7 +19,7 @@ Latency semantics per strategy:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.arch.config import AcceleratorConfig
 from repro.cluster.dataparallel import DataParallelPlan, plan_data_parallel
@@ -153,34 +153,48 @@ def compare_deployments(
     Returns ``{"big": summary, "sharded": summary}`` — the two
     :class:`~repro.serve.engine.ServingEngine` summaries under identical
     requests, batching and queueing, differing only in the accelerator
-    behind the coster.
+    behind the coster.  Both sides cost through the shared
+    :func:`~repro.serve.candidates.evaluate_candidate` path.
     """
-    from repro.serve.batcher import BatchCoster, BatchPolicy
-    from repro.serve.engine import ServingEngine
+    from repro.serve.batcher import BatchPolicy
+    from repro.serve.candidates import evaluate_candidate
     from repro.serve.queue import QueuePolicy
 
     batch_policy = batch_policy or BatchPolicy()
     queue_policy = queue_policy or QueuePolicy()
     requests = list(requests)
-    big = ServingEngine(
-        big_config,
+    knobs = dict(
         batch_policy=batch_policy,
         queue_policy=queue_policy,
-        coster=BatchCoster(big_config, policy=policy),
-    ).run(requests, duration_s, extra_meta={"deployment": "1x big chip"})
-    sharded = ServingEngine(
-        small_config,
-        batch_policy=batch_policy,
-        queue_policy=queue_policy,
-        coster=PipelinedReplica(
-            small_config, n_chips, link=link, strategy=strategy, policy=policy
-        ),
-    ).run(
+        routing="round-robin",
+        plan_policy=policy,
+        label_chips=False,
+    )
+    big = evaluate_candidate(
+        [(big_config, 1)],
         requests,
         duration_s,
-        extra_meta={"deployment": f"{n_chips}x small chip ({strategy})"},
+        candidate="big",
+        extra_meta={"deployment": "1x big chip"},
+        **knobs,
     )
-    return {"big": big.summary, "sharded": sharded.summary}
+    sharded = evaluate_candidate(
+        [
+            (
+                small_config,
+                1,
+                PipelinedReplica(
+                    small_config, n_chips, link=link, strategy=strategy, policy=policy
+                ),
+            )
+        ],
+        requests,
+        duration_s,
+        candidate="sharded",
+        extra_meta={"deployment": f"{n_chips}x small chip ({strategy})"},
+        **knobs,
+    )
+    return {"big": big, "sharded": sharded}
 
 
 def compare_compositions(
@@ -208,7 +222,7 @@ def compare_compositions(
     "winner": name}``.
     """
     from repro.serve.batcher import BatchCoster, BatchPolicy
-    from repro.serve.engine import ServingEngine
+    from repro.serve.candidates import evaluate_candidate, rank_candidates
     from repro.serve.queue import QueuePolicy
 
     if not compositions:
@@ -220,60 +234,26 @@ def compare_compositions(
     results: Dict[str, Dict[str, object]] = {}
     for name in sorted(compositions):
         groups = list(compositions[name])
-        if not groups:
-            raise ConfigError(f"composition {name!r} has no chip groups")
-        replica_costers = []
-        chip_map: Dict[int, str] = {}
-        lead_config: Optional[AcceleratorConfig] = None
-        for gi, (config, count) in enumerate(groups):
-            if isinstance(count, bool) or not isinstance(count, int):
-                raise ConfigError(
-                    f"composition {name!r} group {gi}: count must be an "
-                    f"int, got {count!r}"
-                )
-            if count <= 0:
-                raise ConfigError(
-                    f"composition {name!r} group {gi}: count must be "
-                    f"positive, got {count!r}"
-                )
-            if lead_config is None:
-                lead_config = config
-            coster = costers.get(config)
-            if coster is None:
-                coster = costers[config] = BatchCoster(config, policy=policy)
-            for instance in range(count):
-                rid = len(replica_costers)
-                replica_costers.append(coster)
-                chip_map[rid] = f"{config.name} g{gi}-{instance}"
-        engine = ServingEngine(
-            lead_config,
-            batch_policy=batch_policy,
-            queue_policy=queue_policy,
-            replicas=len(replica_costers),
-            routing=routing,
-            plan_policy=policy,
-            coster=replica_costers[0],
-            replica_costers=replica_costers,
-            chip_map=chip_map,
-        )
-        summary = engine.run(
+        results[name] = evaluate_candidate(
+            groups,
             requests,
             duration_s,
+            batch_policy=batch_policy,
+            queue_policy=queue_policy,
+            routing=routing,
+            plan_policy=policy,
+            coster_memo=costers,
+            candidate=name,
             extra_meta={
                 "deployment": " + ".join(
                     f"{count}x {config.name}" for config, count in groups
                 )
             },
-        ).summary
-        results[name] = summary
+        )
 
-    ranking = sorted(
+    ranking = rank_candidates(
         results,
-        key=lambda name: (
-            results[name]["latency_ms"]["p95"],
-            -results[name]["goodput_rps"],
-            name,
-        ),
+        key=lambda s: (s["latency_ms"]["p95"], -s["goodput_rps"]),
     )
     return {
         "compositions": results,

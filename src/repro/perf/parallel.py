@@ -67,6 +67,7 @@ def parallel_map(
     items: Iterable[T],
     jobs: Optional[int] = None,
     chunksize: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]`` — possibly on a process pool.
 
@@ -74,18 +75,44 @@ def parallel_map(
     parallel and serial runs are interchangeable.  With ``jobs <= 1`` (the
     default unless ``--jobs``/``set_default_jobs`` raised it) no pool is
     created at all.
+
+    ``progress``, when given, is called as ``progress(done, total)`` in the
+    *parent* process after each item's result becomes available, with
+    ``done`` counting up 1..total in input order — so long sweeps can log
+    advancement without perturbing results.  The callback never changes
+    what is returned: results and their order are bit-identical with or
+    without it.  An exception raised by the callback propagates (it is the
+    caller's own code), exactly like one raised by ``fn``.
     """
     work = list(items)
-    workers = min(resolve_jobs(jobs), len(work))
+    total = len(work)
+    workers = min(resolve_jobs(jobs), total)
+
+    def serial() -> List[R]:
+        results: List[R] = []
+        for item in work:
+            results.append(fn(item))
+            if progress is not None:
+                progress(len(results), total)
+        return results
+
     if workers <= 1:
-        return [fn(item) for item in work]
+        return serial()
     if chunksize is None:
-        chunksize = max(1, len(work) // (workers * 4))
+        chunksize = max(1, total // (workers * 4))
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, work, chunksize=chunksize))
+            if progress is None:
+                return list(pool.map(fn, work, chunksize=chunksize))
+            # pool.map yields in input order as results complete, so the
+            # callback sees the same 1..total sequence the serial path does
+            results = []
+            for result in pool.map(fn, work, chunksize=chunksize):
+                results.append(result)
+                progress(len(results), total)
+            return results
     except (OSError, ImportError, BrokenProcessPool, pickle.PicklingError):
         # no usable pool on this host (or the payload cannot cross the
         # process boundary) — degrade to the serial path
         PERF.incr("parallel_fallbacks")
-        return [fn(item) for item in work]
+        return serial()

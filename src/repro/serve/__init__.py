@@ -27,12 +27,21 @@ existing planning machinery:
   (:class:`~repro.serve.verified.VerificationPolicy`), silent-data-
   corruption windows (:class:`~repro.serve.verified.SDCFault`), and
   per-replica detected/corrected/escaped bookkeeping
-  (:class:`~repro.serve.verified.VerifiedReplica`).
+  (:class:`~repro.serve.verified.VerifiedReplica`);
+- :mod:`repro.serve.candidates` — the shared candidate-evaluation path
+  (build replica groups → serve the common workload → rank) behind
+  ``cluster.compare_deployments``/``compare_compositions``,
+  ``tenancy.compare_fleets`` and the ``repro.capacity`` planner.
 
 See ``docs/serving.md`` for the queueing model and the metrics glossary.
 """
 
 from repro.serve.batcher import BatchCoster, BatchPolicy
+from repro.serve.candidates import (
+    build_replica_set,
+    evaluate_candidate,
+    rank_candidates,
+)
 from repro.serve.engine import (
     AdaptiveReplica,
     AdaptiveServingEngine,
@@ -97,12 +106,15 @@ __all__ = [
     "TenantSpec",
     "VerificationPolicy",
     "VerifiedReplica",
+    "build_replica_set",
     "bursty_arrivals",
     "diurnal_arrivals",
+    "evaluate_candidate",
     "diurnal_rate",
     "parse_mix",
     "percentile",
     "poisson_arrivals",
+    "rank_candidates",
     "render_summary",
     "to_json",
     "trace_arrivals",

@@ -1,0 +1,208 @@
+"""One shared candidate-evaluation path for deployment comparisons.
+
+Every "race N deployments on the identical workload" driver in the repo —
+``cluster.compare_deployments`` (1 big chip vs N small),
+``cluster.compare_compositions`` (heterogeneous replica sets),
+``tenancy.compare_fleets`` (placed fleets) and the ``repro.capacity``
+what-if planner — reduces to the same three steps:
+
+1. **build** — turn a list of *replica groups* ``(config, count[, coster])``
+   into the per-replica costers, chip labels and lead config a
+   :class:`~repro.serve.engine.ServingEngine` wants;
+2. **run** — serve the shared request list through one engine per
+   candidate, identical batching/queueing/routing knobs on every side;
+3. **rank** — order the resulting summaries by a deterministic key with
+   the candidate name as the final tiebreaker.
+
+Concentrating those steps here means a costing bug fix or a new metric
+lands in every comparison CLI and in the capacity planner at once, instead
+of drifting across three near-duplicate drivers.
+
+A *group* is ``(config, count)`` or ``(config, count, coster)`` — the
+optional third element substitutes a custom BatchCoster-compatible object
+(e.g. a :class:`~repro.cluster.replica.PipelinedReplica`, so one "replica"
+can be a whole sharded deployment).  Identical configs share one memoized
+coster via ``coster_memo`` so planning work is never repeated across
+candidates in a race.
+
+When a fault schedule, SDC windows, service windows or a verification
+policy are supplied, the run goes through the
+:class:`~repro.serve.failover.FailoverEngine` instead (which models them);
+that engine is single-coster, so faulted candidates must be homogeneous —
+exactly one group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.serve.batcher import BatchCoster, BatchPolicy
+from repro.serve.queue import QueuePolicy
+from repro.serve.workload import Request
+
+__all__ = [
+    "build_replica_set",
+    "evaluate_candidate",
+    "rank_candidates",
+]
+
+
+def _normalize_groups(
+    groups: Sequence[Tuple], candidate: str
+) -> List[Tuple[AcceleratorConfig, int, Optional[object]]]:
+    """Validate ``(config, count[, coster])`` entries, preserving order."""
+    if not groups:
+        raise ConfigError(f"candidate {candidate!r} has no chip groups")
+    out: List[Tuple[AcceleratorConfig, int, Optional[object]]] = []
+    for gi, entry in enumerate(groups):
+        if len(entry) == 2:
+            config, count = entry
+            coster = None
+        elif len(entry) == 3:
+            config, count, coster = entry
+        else:
+            raise ConfigError(
+                f"candidate {candidate!r} group {gi}: expected "
+                f"(config, count[, coster]), got {len(entry)} elements"
+            )
+        if isinstance(count, bool) or not isinstance(count, int):
+            raise ConfigError(
+                f"candidate {candidate!r} group {gi}: count must be an "
+                f"int, got {count!r}"
+            )
+        if count <= 0:
+            raise ConfigError(
+                f"candidate {candidate!r} group {gi}: count must be "
+                f"positive, got {count!r}"
+            )
+        out.append((config, count, coster))
+    return out
+
+
+def build_replica_set(
+    groups: Sequence[Tuple],
+    plan_policy: str = "adaptive-2",
+    coster_memo: Optional[Dict[AcceleratorConfig, BatchCoster]] = None,
+    label_chips: bool = True,
+    candidate: str = "candidate",
+) -> Tuple[AcceleratorConfig, List[object], Optional[Dict[int, str]]]:
+    """Flatten replica groups into engine arguments.
+
+    Returns ``(lead_config, replica_costers, chip_map)`` — replicas laid
+    out in group order, chips labelled ``"<config> g<group>-<instance>"``
+    when ``label_chips`` (pass False to keep summaries free of per-chip
+    accounting, e.g. for single-deployment baselines).  ``coster_memo``
+    lets several candidates in one race share planned costers per config.
+    """
+    normalized = _normalize_groups(groups, candidate)
+    if coster_memo is None:
+        coster_memo = {}
+    replica_costers: List[object] = []
+    chip_map: Dict[int, str] = {}
+    lead_config: Optional[AcceleratorConfig] = None
+    for gi, (config, count, coster) in enumerate(normalized):
+        if lead_config is None:
+            lead_config = config
+        if coster is None:
+            coster = coster_memo.get(config)
+            if coster is None:
+                coster = coster_memo[config] = BatchCoster(
+                    config, policy=plan_policy
+                )
+        for instance in range(count):
+            rid = len(replica_costers)
+            replica_costers.append(coster)
+            chip_map[rid] = f"{config.name} g{gi}-{instance}"
+    assert lead_config is not None
+    return lead_config, replica_costers, (chip_map if label_chips else None)
+
+
+def evaluate_candidate(
+    groups: Sequence[Tuple],
+    requests: Sequence[Request],
+    duration_s: float,
+    batch_policy: BatchPolicy = BatchPolicy(),
+    queue_policy: QueuePolicy = QueuePolicy(),
+    routing: str = "least-loaded",
+    plan_policy: str = "adaptive-2",
+    coster_memo: Optional[Dict[AcceleratorConfig, BatchCoster]] = None,
+    label_chips: bool = True,
+    candidate: str = "candidate",
+    extra_meta: Optional[Dict[str, object]] = None,
+    faults: Sequence[object] = (),
+    failover_policy: Optional[object] = None,
+    service_windows: Sequence[Tuple[float, float, float]] = (),
+    sdc_faults: Sequence[object] = (),
+    verification: Optional[object] = None,
+) -> Dict[str, object]:
+    """Serve ``requests`` on one candidate deployment; return its summary.
+
+    The healthy path builds a :class:`~repro.serve.engine.ServingEngine`
+    from the replica groups.  Supplying any fault input switches to the
+    :class:`~repro.serve.failover.FailoverEngine` (homogeneous candidates
+    only — exactly one group), so planners can score the same candidate
+    healthy and under chaos through one call signature.
+    """
+    faulted = bool(faults or sdc_faults or service_windows) or (
+        verification is not None or failover_policy is not None
+    )
+    lead_config, replica_costers, chip_map = build_replica_set(
+        groups,
+        plan_policy=plan_policy,
+        coster_memo=coster_memo,
+        label_chips=label_chips,
+        candidate=candidate,
+    )
+    if faulted:
+        from repro.serve.failover import FailoverEngine, FailoverPolicy
+
+        if len(groups) != 1:
+            raise ConfigError(
+                f"candidate {candidate!r}: faulted evaluation needs a "
+                f"homogeneous deployment (exactly one replica group)"
+            )
+        engine = FailoverEngine(
+            lead_config,
+            batch_policy=batch_policy,
+            queue_policy=queue_policy,
+            replicas=len(replica_costers),
+            routing=routing,
+            plan_policy=plan_policy,
+            coster=replica_costers[0],
+            faults=faults,
+            failover_policy=failover_policy or FailoverPolicy(),
+            service_windows=service_windows,
+            sdc_faults=sdc_faults,
+            verification=verification,
+        )
+        return engine.run(requests, duration_s, extra_meta=extra_meta).summary
+
+    from repro.serve.engine import ServingEngine
+
+    engine = ServingEngine(
+        lead_config,
+        batch_policy=batch_policy,
+        queue_policy=queue_policy,
+        replicas=len(replica_costers),
+        routing=routing,
+        plan_policy=plan_policy,
+        coster=replica_costers[0],
+        replica_costers=replica_costers,
+        chip_map=chip_map,
+    )
+    return engine.run(requests, duration_s, extra_meta=extra_meta).summary
+
+
+def rank_candidates(
+    results: Dict[str, Dict[str, object]],
+    key: Callable[[Dict[str, object]], Tuple],
+) -> List[str]:
+    """Order candidate names by ``key(summary)``, name as final tiebreak.
+
+    Every comparison driver ranks through here so "same key → same order"
+    holds across the CLIs and the capacity planner, and rollup JSON stays
+    byte-stable.
+    """
+    return sorted(results, key=lambda name: tuple(key(results[name])) + (name,))

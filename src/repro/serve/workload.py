@@ -41,6 +41,7 @@ __all__ = [
     "diurnal_arrivals",
     "diurnal_rate",
     "mixed_arrivals",
+    "mixed_diurnal_arrivals",
     "trace_arrivals",
     "ARRIVAL_KINDS",
 ]
@@ -226,22 +227,7 @@ def mixed_arrivals(
     requests: List[Request] = []
     t = rng.expovariate(rate)
     while t < duration_s:
-        total = sum(tenant.weight for tenant in tenants)
-        x = rng.random() * total
-        picked = tenants[-1]
-        for tenant in tenants:
-            x -= tenant.weight
-            if x < 0:
-                picked = tenant
-                break
-        share_total = sum(share for _, share in picked.mix)
-        y = rng.random() * share_total
-        network = picked.mix[-1][0]
-        for net, share in picked.mix:
-            y -= share
-            if y < 0:
-                network = net
-                break
+        picked, network = _pick_mixed(rng, tenants)
         requests.append(
             Request(
                 rid=len(requests),
@@ -252,6 +238,94 @@ def mixed_arrivals(
             )
         )
         t += rng.expovariate(rate)
+    return requests
+
+
+def _pick_mixed(
+    rng: random.Random, tenants: Sequence[MixedTenantSpec]
+) -> Tuple[MixedTenantSpec, str]:
+    """Two weighted draws: tenant by weight, then network by mix share."""
+    total = sum(tenant.weight for tenant in tenants)
+    x = rng.random() * total
+    picked = tenants[-1]
+    for tenant in tenants:
+        x -= tenant.weight
+        if x < 0:
+            picked = tenant
+            break
+    share_total = sum(share for _, share in picked.mix)
+    y = rng.random() * share_total
+    network = picked.mix[-1][0]
+    for net, share in picked.mix:
+        y -= share
+        if y < 0:
+            network = net
+            break
+    return picked, network
+
+
+def mixed_diurnal_arrivals(
+    base_rate: float,
+    peak_rate: float,
+    days: float,
+    tenants: Sequence[MixedTenantSpec],
+    seed: int = 0,
+    day_s: float = 86400.0,
+    flash_crowds: Sequence[Tuple[float, float, float]] = (),
+) -> List[Request]:
+    """Diurnal traffic over *mixed-tenant* sources: the planner's input.
+
+    The rate envelope is the :func:`diurnal_rate` sinusoid (``base_rate``
+    in the trough, ``peak_rate`` at the crest, explicit flash-crowd
+    windows), sampled by exact thinning like :func:`diurnal_arrivals`;
+    each accepted arrival then draws its tenant by weight and its network
+    by that tenant's mix shares, like :func:`mixed_arrivals`.  One seeded
+    RNG drives everything, so the same seed always yields the identical
+    request list — the capacity planner's whole search is deterministic
+    because its traffic forecast is.
+    """
+    if base_rate <= 0:
+        raise ConfigError(f"base_rate must be positive, got {base_rate!r}")
+    if peak_rate < base_rate:
+        raise ConfigError(
+            f"peak_rate must be >= base_rate, got {peak_rate!r} < {base_rate!r}"
+        )
+    if days <= 0:
+        raise ConfigError(f"days must be positive, got {days!r}")
+    if day_s <= 0:
+        raise ConfigError(f"day_s must be positive, got {day_s!r}")
+    for window in flash_crowds:
+        start, duration, factor = window
+        if start < 0 or duration <= 0 or factor < 1:
+            raise ConfigError(
+                f"flash crowd {window!r} must be (start>=0, duration>0, factor>=1)"
+            )
+    _validate_mixed_tenants(tenants)
+
+    duration_s = days * day_s
+    windows = [tuple(map(float, w)) for w in sorted(flash_crowds)]
+    max_factor = max([1.0] + [f for _, _, f in windows])
+    envelope = peak_rate * max_factor
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(envelope)
+        if t >= duration_s:
+            break
+        current = diurnal_rate(t, base_rate, peak_rate, day_s, windows)
+        if rng.random() * envelope >= current:
+            continue
+        tenant, network = _pick_mixed(rng, tenants)
+        requests.append(
+            Request(
+                rid=len(requests),
+                tenant=tenant.name,
+                network=network,
+                arrival_s=t,
+                deadline_s=t + tenant.slo_ms / 1e3,
+            )
+        )
     return requests
 
 

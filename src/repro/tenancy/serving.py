@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.arch.config import AcceleratorConfig
 from repro.errors import ConfigError
 from repro.serve.batcher import BatchCoster, BatchPolicy
+from repro.serve.candidates import rank_candidates
 from repro.serve.engine import ReplicaState, ServingEngine, per_chip_rollup
 from repro.serve.metrics import MetricsCollector, to_json
 from repro.serve.queue import QueuePolicy
@@ -313,7 +314,8 @@ def compare_fleets(
 
     Fleets should be built to (near-)equal ``total_weight`` — the rollup
     records each fleet's weight so an unequal comparison is visible, and
-    the verdict ranks on (worst-tenant p95, -goodput, name).
+    the verdict ranks on (worst-tenant p95, -goodput, name) through the
+    shared :func:`~repro.serve.candidates.rank_candidates` path.
     """
     if not fleets:
         raise ConfigError("compare_fleets needs at least one fleet")
@@ -339,13 +341,9 @@ def compare_fleets(
             extra_meta=meta,
         )
 
-    ranked = sorted(
+    ranked = rank_candidates(
         results,
-        key=lambda name: (
-            worst_tenant_p95(results[name]),
-            -results[name]["goodput_rps"],
-            name,
-        ),
+        key=lambda s: (worst_tenant_p95(s), -s["goodput_rps"]),
     )
     return {
         "scenario": {

@@ -59,6 +59,49 @@ def test_worker_exceptions_propagate():
         parallel_map(_boom, [1, 2, 3], jobs=2)
 
 
+def test_progress_callback_serial_counts_up_in_order():
+    items = list(range(7))
+    seen = []
+    result = parallel_map(
+        _square, items, jobs=1, progress=lambda done, total: seen.append((done, total))
+    )
+    assert result == [_square(x) for x in items]
+    assert seen == [(k, 7) for k in range(1, 8)]
+
+
+def test_progress_callback_parallel_counts_up_in_order():
+    items = list(range(16))
+    seen = []
+    result = parallel_map(
+        _square, items, jobs=2, progress=lambda done, total: seen.append((done, total))
+    )
+    assert result == [_square(x) for x in items]
+    assert seen == [(k, 16) for k in range(1, 17)]
+
+
+def test_progress_callback_leaves_results_bit_identical():
+    items = list(range(25))
+    plain = parallel_map(_square, items, jobs=2)
+    with_cb = parallel_map(_square, items, jobs=2, progress=lambda d, t: None)
+    assert plain == with_cb == [_square(x) for x in items]
+
+
+def test_progress_callback_exceptions_propagate():
+    with pytest.raises(RuntimeError, match="observer"):
+        parallel_map(
+            _square,
+            [1, 2, 3],
+            jobs=1,
+            progress=lambda d, t: (_ for _ in ()).throw(RuntimeError("observer")),
+        )
+
+
+def test_progress_callback_not_called_for_empty_input():
+    seen = []
+    assert parallel_map(_square, [], jobs=2, progress=lambda d, t: seen.append(d)) == []
+    assert seen == []
+
+
 def test_search_network_parallel_matches_serial():
     net = build("vgg")
     serial = search_network(net, CONFIG_16_16, jobs=1)
