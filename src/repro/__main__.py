@@ -20,12 +20,15 @@ autoscale [--base-rate 6] [--peak-rate 42] [--days 3] [--compare] ...
 shard NETWORK [--chips 4] [--strategy pipeline|data-parallel] ...
     Partition a network across multiple accelerator chips with an
     inter-chip link model (see ``docs/sharding.md``).
-chaos [SCENARIO ...] [--seed 1] [--json PATH]
+chaos [SCENARIO ...] [--seed 1] [--json PATH] [--control]
     Run fault-injection scenarios — replica crashes, fail-slow windows,
     link flaps, PE masks, silent-data-corruption windows — against the
     serving tier and report availability, goodput under fault, MTTR and
     latency ratios (see ``docs/resilience.md``).  Exits non-zero when a
-    scenario's declared invariant is violated.
+    scenario's declared invariant is violated.  ``--control`` switches to
+    the chaos-under-autoscaling suite: the same faults land while the
+    self-healing control loop is steering, plus faults in the control
+    plane itself (see ``docs/chaos_control.md``).
 tenancy {partition|fleet} [--tenants ...] [--rate 470] ...
     Carve one chip into co-resident tenant partitions and race the
     result against time-multiplexing the whole chip, or compare
@@ -519,6 +522,101 @@ def cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos_control(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.control.chaos_scenarios import (
+        CONTROL_SCENARIO_NAMES,
+        build_control_scenario,
+        run_control_scenario,
+        rollup_to_json,
+    )
+
+    if args.list:
+        for name in CONTROL_SCENARIO_NAMES:
+            scenario = build_control_scenario(name, seed=args.seed)
+            print(f"{name:24s} {scenario.description}")
+        return 0
+    names = args.scenarios or list(CONTROL_SCENARIO_NAMES)
+    config = named_config(args.config)
+    rollups = {}
+    for name in names:
+        scenario = build_control_scenario(name, seed=args.seed)
+        rollups[name] = run_control_scenario(scenario, config)
+    violations = [
+        (name, inv)
+        for name in names
+        for inv, ok in rollups[name]["invariants"].items()
+        if not ok
+    ]
+    payload = rollups[names[0]] if len(names) == 1 else {
+        "seed": args.seed,
+        "config": config.name,
+        "scenarios": rollups,
+    }
+    if args.json == "-":
+        print(rollup_to_json(payload), end="")
+        return 1 if violations else 0
+    rows = []
+    for name in names:
+        r = rollups[name]
+        att = r["attainment"]
+        rec = r["recovery"]
+        mttr = f"{rec['mttr_ms']:.0f}" if rec["mttr_ms"] is not None else "-"
+        inv = r["invariants"]
+        rows.append(
+            [
+                name,
+                f"{att['healing']:.4f}",
+                f"{att['nonhealing']:.4f}",
+                f"{att['frozen_faulted']:.4f}",
+                f"{att['frozen_healthy']:.4f}",
+                mttr,
+                f"{sum(inv.values())}/{len(inv)}",
+            ]
+        )
+    print(f"chaos --control seed {args.seed} on {config.name}")
+    print()
+    print(
+        format_table(
+            [
+                "scenario",
+                "healing",
+                "nonheal",
+                "frozen",
+                "healthy",
+                "mttr ms",
+                "invariants",
+            ],
+            rows,
+        )
+    )
+    for name in names:
+        detail = rollups[name]["healing_detail"]
+        notes = []
+        if detail["restarts"]:
+            notes.append(f"{len(detail['restarts'])} journal restart(s)")
+        if detail["safe_mode_intervals"]:
+            spans = ", ".join(
+                f"[{i['entered_epoch']}, {i['exited_epoch']}]"
+                for i in detail["safe_mode_intervals"]
+            )
+            notes.append(f"safe mode {spans}")
+        if detail["telemetry_flags"]:
+            notes.append(f"{detail['telemetry_flags']} telemetry flag(s)")
+        if detail["placements"]:
+            chips = ", ".join(p["chip"] for p in detail["placements"])
+            notes.append(f"replacement(s) placed on {chips}")
+        if notes:
+            print(f"\n{name}: " + "; ".join(notes))
+    for name, inv in violations:
+        print(f"\nINVARIANT VIOLATED: {name}: {inv}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(rollup_to_json(payload))
+        print(f"\nchaos JSON written to {args.json}")
+    return 1 if violations else 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
     from repro.resilience import (
@@ -528,6 +626,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         run_scenario,
     )
 
+    if args.control:
+        return cmd_chaos_control(args)
     if args.list:
         for name in SCENARIO_NAMES:
             scenario = build_scenario(name, seed=args.seed)
@@ -1291,6 +1391,12 @@ def main(argv=None) -> int:
     )
     p_chaos.add_argument("--seed", type=int, default=1, help="fault/workload RNG seed")
     p_chaos.add_argument("--config", default="16-16")
+    p_chaos.add_argument(
+        "--control",
+        action="store_true",
+        help="run chaos-under-autoscaling scenarios (self-healing loop vs "
+        "frozen fleet vs non-healing loop)",
+    )
     p_chaos.add_argument(
         "--json",
         default="",

@@ -31,11 +31,58 @@ The loop runs at simulated-time epoch boundaries, split the classic way:
   judged against on diurnal flash-crowd traces in
   ``benchmarks/bench_control.py``.
 
-See ``docs/autoscaling.md`` for the loop architecture, the policy knobs,
-and the bench methodology.
+PR 10 adds the self-healing layer on top:
+
+- :mod:`repro.control.chaos` — fault injection for the control plane
+  itself: tampered telemetry windows (loss/stale/duplicate), actuation
+  that fails or partially applies, controller crash-restart, and the
+  safe-mode controller that freezes actuation when control-plane faults
+  storm;
+- :mod:`repro.control.healing` —
+  :class:`~repro.control.healing.SelfHealingControlLoop`: the PR-7 loop
+  plus fleet probes, repair planning (replace crashed replicas, replan
+  degraded geometries through Algorithm 2, placement-aware spares),
+  recovery deadlines with rollback to last-known-good, and journal-based
+  restart after controller crashes;
+- :mod:`repro.control.chaos_scenarios` — the chaos-under-autoscaling
+  suite (``repro chaos --control``): every scenario runs four arms on
+  identical seeded traffic and enforces named invariants.
+
+See ``docs/autoscaling.md`` for the loop architecture and
+``docs/chaos_control.md`` for the self-healing design.
 """
 
 from repro.control.actuator import Actuator, AppliedAction
+from repro.control.chaos import (
+    ACTUATION_FAULT_MODES,
+    TELEMETRY_FAULT_KINDS,
+    ActuationFault,
+    ControlFaultSchedule,
+    FlakyActuator,
+    LoopCrash,
+    SafeModeController,
+    SafeModePolicy,
+    TelemetryChannel,
+    TelemetryFault,
+    apply_fault_schedule,
+    naive_mask_factor,
+)
+from repro.control.chaos_scenarios import (
+    CONTROL_INVARIANT_NAMES,
+    CONTROL_SCENARIO_NAMES,
+    ControlChaosScenario,
+    build_control_scenario,
+    run_control_scenario,
+)
+from repro.control.healing import (
+    HealingActuator,
+    HealingPlanner,
+    HealingPolicy,
+    ProbeReport,
+    RecoveryTracker,
+    SelfHealingControlLoop,
+    probe_fleet,
+)
 from repro.control.loop import (
     ControlLoop,
     ControlReport,
@@ -55,20 +102,42 @@ from repro.control.verifier import Expectation, Verifier, VerifierPolicy
 
 __all__ = [
     "ACTION_KINDS",
+    "ACTUATION_FAULT_MODES",
     "Action",
+    "ActuationFault",
     "Actuator",
     "AppliedAction",
     "AutoscalePolicy",
     "BATCH_CANDIDATES",
+    "CONTROL_INVARIANT_NAMES",
+    "CONTROL_SCENARIO_NAMES",
+    "ControlChaosScenario",
+    "ControlFaultSchedule",
     "ControlLoop",
     "ControlReport",
     "Detector",
     "Expectation",
+    "FlakyActuator",
+    "HealingActuator",
+    "HealingPlanner",
+    "HealingPolicy",
+    "LoopCrash",
     "Planner",
     "PlannerFeedback",
+    "ProbeReport",
+    "RecoveryTracker",
+    "SafeModeController",
+    "SafeModePolicy",
+    "SelfHealingControlLoop",
+    "TELEMETRY_FAULT_KINDS",
+    "TelemetryChannel",
+    "TelemetryFault",
     "Verifier",
     "VerifierPolicy",
     "WindowStats",
-    "run_static",
-    "static_fleet_sizes",
+    "apply_fault_schedule",
+    "build_control_scenario",
+    "naive_mask_factor",
+    "probe_fleet",
+    "run_control_scenario",
 ]

@@ -58,7 +58,18 @@ __all__ = [
     "BATCH_CANDIDATES",
 ]
 
-ACTION_KINDS = ("scale-up", "scale-down", "retune", "drain")
+ACTION_KINDS = (
+    "scale-up",
+    "scale-down",
+    "retune",
+    "drain",
+    # healing actions (repro.control.healing): replace a crashed replica,
+    # replan a PE-degraded one through Algorithm 2, roll the fleet back to
+    # its last-known-good shape after a missed recovery deadline
+    "replace",
+    "replan",
+    "rollback",
+)
 
 #: batch sizes the retune rule may pick from
 BATCH_CANDIDATES = (1, 2, 4, 8, 16, 32)
@@ -79,6 +90,9 @@ class Action:
     #: new batching knobs for retune actions
     max_batch: Optional[int] = None
     max_wait_ms: Optional[float] = None
+    #: chip the replacement replica should land on (replace actions placed
+    #: through :func:`repro.tenancy.place_tenants`)
+    chip: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ACTION_KINDS:
@@ -101,6 +115,8 @@ class Action:
             out["max_batch"] = self.max_batch
         if self.max_wait_ms is not None:
             out["max_wait_ms"] = round(self.max_wait_ms, 6)
+        if self.chip is not None:
+            out["chip"] = self.chip
         return out
 
 

@@ -128,6 +128,37 @@ class Detector:
         #: observed boundary, ordered by (finish_s, rid)
         self._inflight: List[RequestRecord] = []
 
+    @classmethod
+    def resume(
+        cls,
+        engine: AdaptiveServingEngine,
+        tenants: Sequence[TenantSpec],
+        boundary_s: float,
+        epoch: int,
+    ) -> "Detector":
+        """Rebuild a detector mid-run after a control-plane crash.
+
+        The engine's metrics are the ground truth a restarted loop still
+        has: every record dispatched by ``boundary_s`` is in the completion
+        list, and pre-crash windows consumed exactly the records finishing
+        at or before the boundary.  Reconstructing ``(consumed index,
+        in-flight list, cumulative snapshots)`` from that state is
+        therefore *exact* — the resumed detector's future windows are
+        bit-identical to an uncrashed detector's.
+        """
+        detector = cls(engine, tenants)
+        completed = engine.metrics.completed
+        detector._ci = len(completed)
+        detector._inflight = sorted(
+            (r for r in completed if r.finish_s > boundary_s),
+            key=lambda r: (r.finish_s, r.rid),
+        )
+        detector._prev_end = boundary_s
+        detector._prev_shed = engine.metrics.shed_total
+        detector._prev_arrivals = engine.offered
+        detector._epoch = epoch
+        return detector
+
     def observe(self, t_end: float) -> WindowStats:
         """Reduce the window ``(prev_end, t_end]`` to one stats record."""
         if t_end <= self._prev_end and self._epoch:
@@ -178,7 +209,12 @@ class Detector:
         ratios: Dict[int, float] = {}
         counts: Dict[int, int] = {}
         for (rid, _), r in sorted(batches.items()):
-            expected = engine.coster.batch_seconds(r.network, r.batch_size)
+            # expected cost under the replica's *own* coster: a degraded
+            # replica replanned through Algorithm 2 reads healthy again,
+            # so the ratio separates faults from load
+            expected = engine.coster_for(rid).batch_seconds(
+                r.network, r.batch_size
+            )
             if expected > 0:
                 ratio = r.service_s / expected
                 ratios[rid] = max(ratios.get(rid, 0.0), ratio)

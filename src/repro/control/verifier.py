@@ -96,6 +96,24 @@ class Expectation:
             return state is None or not state.active
         if self.kind == "retune":
             return engine.batch_policy.max_batch == self.max_batch
+        if self.kind in ("replace", "rollback"):
+            # healing actions restoring a fleet shape (repro.control.healing)
+            if (
+                self.kind == "rollback"
+                and self.max_batch is not None
+                and engine.batch_policy.max_batch != self.max_batch
+            ):
+                return False
+            return engine.n_active() == self.target
+        if self.kind == "replan":
+            state = next(
+                (r for r in engine.replicas if r.rid == self.replica), None
+            )
+            return bool(
+                state is not None
+                and state.degraded
+                and state.degraded.get("replanned")
+            )
         return False
 
 
@@ -134,6 +152,18 @@ class Verifier:
                 expectation.replica = action.replica
             elif action.kind == "retune":
                 expectation.max_batch = action.max_batch
+            elif action.kind in ("replace", "rollback"):
+                # repairs restore a known shape; they are not load-driven
+                # scale decisions, so they never feed the oscillation guard
+                if app.clipped:
+                    continue
+                expectation.target = action.target
+                if action.kind == "rollback":
+                    expectation.max_batch = action.max_batch
+            elif action.kind == "replan":
+                if app.clipped:
+                    continue
+                expectation.replica = action.replica
             self._pending.append(expectation)
 
     def check(self, engine: AdaptiveServingEngine, epoch: int) -> PlannerFeedback:

@@ -37,6 +37,7 @@ from repro.resilience.faults import (
     BitFlipFault,
     FaultSchedule,
     LinkFault,
+    MaskFault,
     PEMask,
     ReplicaFault,
     SDCFault,
@@ -61,6 +62,7 @@ __all__ = [
     "FaultSchedule",
     "INVARIANT_NAMES",
     "LinkFault",
+    "MaskFault",
     "PEMask",
     "RepairPlan",
     "ReplicaFault",

@@ -42,6 +42,7 @@ from repro.serve.verified import SDCFault
 __all__ = [
     "PEMask",
     "LinkFault",
+    "MaskFault",
     "BitFlipFault",
     "BITFLIP_SITES",
     "FaultSchedule",
@@ -246,6 +247,85 @@ def flapping_link(
 
 
 @dataclass(frozen=True)
+class MaskFault:
+    """A timed partial PE failure landing on one serving replica.
+
+    At ``time_s`` the replica's array loses ``mask``'s rows/columns (the
+    hardware self-reports it, like a machine check).  Until the control
+    plane replans through Algorithm 2 the replica serves its healthy
+    schedule on fewer lanes — the naive proportional slowdown — which is
+    exactly the gap :func:`repro.resilience.degrade.replan_degraded`
+    closes.  The static :attr:`FaultSchedule.pe_mask` field models a chip
+    that *starts* degraded; a ``MaskFault`` models one that degrades
+    mid-run under a live controller.
+    """
+
+    time_s: float
+    replica: int
+    mask: PEMask
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.time_s) or math.isinf(self.time_s) or self.time_s < 0:
+            raise ConfigError(
+                f"mask fault time must be finite and >= 0, got {self.time_s!r}"
+            )
+        if isinstance(self.replica, bool) or not isinstance(self.replica, int):
+            raise ConfigError(
+                f"mask fault replica must be an int, got {self.replica!r}"
+            )
+        if self.replica < 0:
+            raise ConfigError(
+                f"mask fault replica must be >= 0, got {self.replica!r}"
+            )
+        if not isinstance(self.mask, PEMask):
+            raise ConfigError(
+                f"mask fault needs a PEMask, got {type(self.mask).__name__}"
+            )
+        if self.mask.is_noop:
+            raise ConfigError("mask fault needs a non-noop PEMask")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "time_ms": round(self.time_s * 1e3, 6),
+            "replica": self.replica,
+            "mask": self.mask.to_dict(),
+        }
+
+
+def _entry_label(fault: object) -> str:
+    """Human-readable identity of one schedule entry for error messages."""
+    kind = getattr(fault, "kind", type(fault).__name__)
+    target = getattr(fault, "replica", None)
+    at = getattr(fault, "time_s", None)
+    where = f" on replica {target}" if target is not None else ""
+    return f"{kind}{where} at t={at!r}s"
+
+
+def _check_entries(kind: str, faults, key) -> None:
+    """Finite, non-negative times and no duplicate (time, target) entries.
+
+    Mirrors the ``trace_arrivals`` style: the error names the offending
+    entry (its index in time-sorted order) so a generated schedule can be
+    traced straight back to its source.
+    """
+    seen: Dict[object, int] = {}
+    for n, fault in enumerate(faults):
+        t = fault.time_s
+        if math.isnan(t) or math.isinf(t) or t < 0:
+            raise ConfigError(
+                f"{kind}: non-finite or negative fault time {t!r} "
+                f"({_entry_label(fault)}, entry {n})"
+            )
+        k = key(fault)
+        if k in seen:
+            raise ConfigError(
+                f"{kind}: duplicate fault {_entry_label(fault)} "
+                f"(entries {seen[k]} and {n} share time and target)"
+            )
+        seen[k] = n
+
+
+@dataclass(frozen=True)
 class FaultSchedule:
     """Everything injected into one chaos run, validated and serializable."""
 
@@ -254,6 +334,8 @@ class FaultSchedule:
     pe_mask: Optional[PEMask] = None
     sdc_faults: Tuple[SDCFault, ...] = ()
     seed: Optional[int] = field(default=None)
+    #: timed per-replica PE masks (the self-healing control scenarios)
+    mask_faults: Tuple[MaskFault, ...] = ()
 
     def __post_init__(self) -> None:
         # normalize to deterministic order regardless of construction order
@@ -274,6 +356,26 @@ class FaultSchedule:
             "sdc_faults",
             tuple(sorted(self.sdc_faults, key=lambda f: (f.time_s, f.replica))),
         )
+        object.__setattr__(
+            self,
+            "mask_faults",
+            tuple(sorted(self.mask_faults, key=lambda f: (f.time_s, f.replica))),
+        )
+        # two crashes of one replica at one instant (or two identical link
+        # windows) are always a schedule-generation bug; reject them with
+        # the offending entry named rather than silently double-applying
+        _check_entries(
+            "replica_faults",
+            self.replica_faults,
+            key=lambda f: (f.time_s, f.replica),
+        )
+        _check_entries("link_faults", self.link_faults, key=lambda f: f.time_s)
+        _check_entries(
+            "sdc_faults", self.sdc_faults, key=lambda f: (f.time_s, f.replica)
+        )
+        _check_entries(
+            "mask_faults", self.mask_faults, key=lambda f: (f.time_s, f.replica)
+        )
 
     @property
     def crashes(self) -> Tuple[ReplicaFault, ...]:
@@ -289,6 +391,7 @@ class FaultSchedule:
             not self.replica_faults
             and not self.link_faults
             and not self.sdc_faults
+            and not self.mask_faults
             and (self.pe_mask is None or self.pe_mask.is_noop)
         )
 
@@ -310,6 +413,12 @@ class FaultSchedule:
                     f"SDC fault targets replica {sdc.replica} but the "
                     f"deployment has only {n_replicas} replicas"
                 )
+        for mask in self.mask_faults:
+            if mask.replica >= n_replicas:
+                raise ConfigError(
+                    f"mask fault targets replica {mask.replica} but the "
+                    f"deployment has only {n_replicas} replicas"
+                )
         if len({f.replica for f in self.crashes}) >= n_replicas:
             # allowed, but the run will end in FAILED_NO_REPLICAS for the
             # tail of the workload — that is a legitimate scenario
@@ -322,6 +431,7 @@ class FaultSchedule:
             "link_faults": [f.to_dict() for f in self.link_faults],
             "sdc_faults": [f.to_dict() for f in self.sdc_faults],
             "pe_mask": self.pe_mask.to_dict() if self.pe_mask else None,
+            "mask_faults": [f.to_dict() for f in self.mask_faults],
         }
 
     @classmethod

@@ -390,11 +390,15 @@ class AdaptiveReplica(ReplicaState):
     #: set when the replica leaves (drain/scale-down); the chip is held
     #: until in-flight work finishes, so this is ``max(drain time, free_at)``
     retired_s: Optional[float] = None
-    #: gray-failure injection: service times multiply by ``slow_factor``
-    #: for dispatches inside ``[slow_from, slow_until)``
-    slow_factor: float = 1.0
-    slow_from: float = math.inf
-    slow_until: float = -math.inf
+    #: gray-failure injection: ``(from_s, until_s, factor)`` windows; a
+    #: dispatch at ``t`` pays the worst factor of every window containing it
+    slow_windows: List[Tuple[float, float, float]] = field(default_factory=list)
+    #: set when the replica fail-stopped (vs an orderly drain)
+    crashed: bool = False
+    #: hardware self-report of a partial PE failure: ``{"masked_cols",
+    #: "masked_rows", "from_s"}`` plus ``"replanned"`` once healed — the
+    #: health probe's input, opaque to the engine itself
+    degraded: Optional[Dict[str, object]] = None
 
     @property
     def active(self) -> bool:
@@ -402,9 +406,11 @@ class AdaptiveReplica(ReplicaState):
         return self.retired_s is None
 
     def service_multiplier(self, t: float) -> float:
-        if self.slow_from <= t < self.slow_until:
-            return self.slow_factor
-        return 1.0
+        worst = 1.0
+        for from_s, until_s, factor in self.slow_windows:
+            if from_s <= t < until_s:
+                worst = max(worst, factor)
+        return worst
 
     def lifetime_s(self, end_s: float) -> float:
         """Chip-seconds this replica was provisioned for."""
@@ -419,6 +425,8 @@ class AdaptiveReplica(ReplicaState):
         )
         life = self.lifetime_s(makespan_s)
         out["utilization"] = round(self.busy_s / life, 6) if life else 0.0
+        if self.crashed:
+            out["crashed"] = True
         return out
 
 
@@ -505,6 +513,10 @@ class AdaptiveServingEngine:
         self.busy_intervals: List[Tuple[int, float, float]] = []
         #: (time_s, event, rid-or-None, detail) fleet/batcher change log
         self.fleet_events: List[Tuple[float, str, Optional[int], str]] = []
+        #: armed fail-stops, (at_s, rid, reason) sorted by time
+        self._crashes: List[Tuple[float, int, str]] = []
+        #: fleet-wide (from_s, until_s, factor) service windows (link faults)
+        self._service_windows: List[Tuple[float, float, float]] = []
 
     # -- fleet state -------------------------------------------------------
 
@@ -612,7 +624,11 @@ class AdaptiveServingEngine:
         self.batch_policy = policy
 
     def set_slow(self, rid: int, factor: float, from_s: float, until_s: float) -> None:
-        """Inject a fail-slow window (the control plane's health stimulus)."""
+        """Inject a fail-slow window (the control plane's health stimulus).
+
+        Windows accumulate: a replica can degrade more than once, and a
+        dispatch inside overlapping windows pays the worst factor.
+        """
         if factor < 1:
             raise ConfigError(f"slow factor must be >= 1, got {factor!r}")
         if not until_s > from_s:
@@ -622,11 +638,152 @@ class AdaptiveServingEngine:
         state = next((r for r in self.replicas if r.rid == rid), None)
         if state is None:
             raise ConfigError(f"unknown replica rid {rid!r}")
-        state.slow_factor = factor
-        state.slow_from = from_s
-        state.slow_until = until_s
+        state.slow_windows.append((from_s, until_s, factor))
+
+    def schedule_crash(self, rid: int, at_s: float, reason: str = "crash") -> None:
+        """Arm a fail-stop at ``at_s``: no new work after that instant.
+
+        Fail-stop is batch-boundary: the in-flight batch (if any) completes
+        and its completions stand, but nothing dispatches onto the replica
+        at or after the crash instant.  Unlike :meth:`drain_replica` a crash
+        may take out the last active replica — requests still queued when
+        the fleet hits zero are accounted as failed at :meth:`finish`.
+        """
+        if math.isnan(at_s) or math.isinf(at_s) or at_s < 0:
+            raise ConfigError(
+                f"crash time must be finite and >= 0, got {at_s!r}"
+            )
+        state = next((r for r in self.replicas if r.rid == rid), None)
+        if state is None:
+            raise ConfigError(f"unknown replica rid {rid!r}")
+        if any(c_rid == rid for _, c_rid, _ in self._crashes):
+            raise ConfigError(f"replica {rid} already has a crash scheduled")
+        self._crashes.append((at_s, rid, reason))
+        self._crashes.sort(key=lambda c: (c[0], c[1]))
+
+    def add_service_window(
+        self, from_s: float, until_s: float, factor: float
+    ) -> None:
+        """A fleet-wide service-time window (a degraded interconnect).
+
+        Every dispatch inside ``[from_s, until_s)`` pays ``factor`` on top
+        of any per-replica slowdown — link faults hit all replicas at once,
+        replica faults hit one.
+        """
+        if factor < 1:
+            raise ConfigError(f"service factor must be >= 1, got {factor!r}")
+        if not until_s > from_s:
+            raise ConfigError(
+                f"service window must have until > from, "
+                f"got [{from_s!r}, {until_s!r})"
+            )
+        self._service_windows.append((from_s, until_s, factor))
+
+    def _fleet_multiplier(self, t: float) -> float:
+        worst = 1.0
+        for from_s, until_s, factor in self._service_windows:
+            if from_s <= t < until_s:
+                worst = max(worst, factor)
+        return worst
+
+    def mark_degraded(
+        self,
+        rid: int,
+        masked_cols: int,
+        masked_rows: int,
+        factor: float,
+        from_s: float,
+    ) -> None:
+        """A partial PE failure self-reported by the hardware at ``from_s``.
+
+        Until someone replans, the replica serves its *healthy* schedule on
+        fewer lanes — a naive proportional slowdown of ``factor`` — and the
+        mask geometry is visible to health probes via ``replica.degraded``.
+        :meth:`heal_degraded` ends the naive window and swaps in a coster
+        planned for the degraded geometry (Algorithm 2's answer).
+        """
+        if factor < 1:
+            raise ConfigError(f"degrade factor must be >= 1, got {factor!r}")
+        if math.isnan(from_s) or math.isinf(from_s) or from_s < 0:
+            raise ConfigError(
+                f"degrade time must be finite and >= 0, got {from_s!r}"
+            )
+        state = next((r for r in self.replicas if r.rid == rid), None)
+        if state is None:
+            raise ConfigError(f"unknown replica rid {rid!r}")
+        if state.degraded is not None:
+            raise ConfigError(f"replica {rid} is already degraded")
+        state.degraded = {
+            "masked_cols": masked_cols,
+            "masked_rows": masked_rows,
+            "from_s": from_s,
+            "replanned": False,
+        }
+        state.slow_windows.append((from_s, math.inf, factor))
+        self.fleet_events.append(
+            (
+                from_s,
+                "degrade",
+                rid,
+                f"pe-mask cols={masked_cols} rows={masked_rows} "
+                f"naive x{factor:g}",
+            )
+        )
+
+    def heal_degraded(self, rid: int, coster: BatchCoster, note: str = "") -> None:
+        """Replace a degraded replica's naive slowdown with a replanned coster.
+
+        The open degrade window is truncated at the current instant and
+        later dispatches are costed by ``coster`` (the degraded-geometry
+        schedule), so healing takes effect exactly at the epoch boundary
+        the controller applied it.
+        """
+        state = next((r for r in self.replicas if r.rid == rid), None)
+        if state is None:
+            raise ConfigError(f"unknown replica rid {rid!r}")
+        if state.degraded is None:
+            raise ConfigError(f"replica {rid} is not degraded")
+        if state.degraded.get("replanned"):
+            raise ConfigError(f"replica {rid} is already replanned")
+        from_s = float(state.degraded["from_s"])
+        for i, (a, b, factor) in enumerate(state.slow_windows):
+            if a == from_s and math.isinf(b):
+                state.slow_windows[i] = (a, max(a, self._now), factor)
+                break
+        state.degraded["replanned"] = True
+        self._replica_costers[rid] = coster
+        self.fleet_events.append(
+            (self._now, "replan", rid, note or coster.config.name)
+        )
+
+    def set_replica_coster(
+        self, rid: int, coster: BatchCoster, note: str = ""
+    ) -> None:
+        """Override one replica's batch-cost model from now on."""
+        state = next((r for r in self.replicas if r.rid == rid), None)
+        if state is None:
+            raise ConfigError(f"unknown replica rid {rid!r}")
+        self._replica_costers[rid] = coster
+        self.fleet_events.append(
+            (self._now, "recoster", rid, note or coster.config.name)
+        )
+
+    def coster_for(self, rid: int) -> BatchCoster:
+        """The cost model pricing ``rid``'s batches (override or fleet)."""
+        return self._replica_costers.get(rid, self.coster)
 
     # -- the resident event loop -------------------------------------------
+
+    def _apply_crashes(self, up_to: float) -> None:
+        """Fail-stop every armed crash at or before ``up_to``."""
+        while self._crashes and self._crashes[0][0] <= up_to:
+            at_s, rid, reason = self._crashes.pop(0)
+            state = next((r for r in self.replicas if r.rid == rid), None)
+            if state is None or not state.active:
+                continue  # already drained/retired; the crash is moot
+            state.crashed = True
+            state.retired_s = max(at_s, state.free_at)
+            self.fleet_events.append((at_s, "crash", rid, reason))
 
     def _pick(self) -> Optional[AdaptiveReplica]:
         """The active replica the next dispatch would use (deterministic)."""
@@ -661,6 +818,7 @@ class AdaptiveServingEngine:
                 f"cannot advance to {t_end!r}s: already at {self._now!r}s"
             )
         n = len(self._pending)
+        self._apply_crashes(self._now)
         while True:
             next_times: List[float] = []
             if self._pi < n:
@@ -673,6 +831,12 @@ class AdaptiveServingEngine:
             if not next_times:
                 break
             t = max(self._now, min(next_times))
+            # an armed crash before the next event changes who is eligible
+            # to dispatch — fail-stop first, then recompute the event
+            if self._crashes and self._crashes[0][0] <= min(t, t_end):
+                self._now = max(self._now, self._crashes[0][0])
+                self._apply_crashes(self._now)
+                continue
             if t > t_end:
                 break
             self._now = t
@@ -701,6 +865,7 @@ class AdaptiveServingEngine:
                 coster = self._replica_costers.get(replica.rid, self.coster)
                 service = coster.batch_seconds(network, len(batch))
                 service *= replica.service_multiplier(t)
+                service *= self._fleet_multiplier(t)
                 finish = t + service
                 replica.free_at = finish
                 replica.busy_s += service
@@ -723,6 +888,7 @@ class AdaptiveServingEngine:
                             replica=replica.rid,
                         )
                     )
+        self._apply_crashes(t_end)
         if t_end > self._now and not math.isinf(t_end):
             self._now = t_end
 
@@ -756,6 +922,23 @@ class AdaptiveServingEngine:
             raise ConfigError(f"duration must be positive, got {duration_s!r}")
         with phase("serve_adaptive_finish"):
             self.advance_to(math.inf)
+        if len(self._queue) and not self.active_replicas():
+            # every replica crashed: queued work cannot terminate normally,
+            # but it must still terminate — offered == completed+shed+failed
+            # is the zero-silent-drop invariant the chaos runner enforces
+            for net in list(self._queue.networks()):
+                while self._queue.depth(net):
+                    batch, shed_events = self._queue.pop_batch(
+                        net, max(1, self._queue.depth(net)), self._now
+                    )
+                    for event in shed_events:
+                        self.metrics.record_shed(
+                            event.request.tenant, event.reason
+                        )
+                    for request in batch:
+                        self.metrics.record_failure(
+                            request.tenant, "no_active_replica"
+                        )
         makespan_s = max(
             [duration_s] + [r.finish_s for r in self.metrics.completed]
         )

@@ -76,7 +76,16 @@ class TestChaosCommand:
     def test_sdc_storm_json_carries_invariants(self, capsys):
         assert main(["chaos", "sdc-storm", "--json", "-"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["invariants"] == {"zero-escaped": True, "sdc-drained": True}
+        assert payload["invariants_declared"] == [
+            "zero-silent-drops",
+            "zero-escaped",
+            "sdc-drained",
+        ]
+        assert payload["invariants"] == {
+            "zero-silent-drops": True,
+            "zero-escaped": True,
+            "sdc-drained": True,
+        }
         assert payload["integrity"]["escaped_batches"] == 0
 
     def test_seed_flag_changes_output(self, capsys):

@@ -243,3 +243,104 @@ class TestSeeded:
         )
         for fault in schedule.slowdowns:
             assert 2.0 <= fault.factor <= 4.0
+
+
+class TestScheduleEntryValidation:
+    """Satellite: reject bad times and duplicate (time, target) entries,
+    naming the offending entry in the trace_arrivals style."""
+
+    def test_infinite_time_rejected_naming_entry(self):
+        with pytest.raises(ConfigError, match=r"non-finite.*entry 0"):
+            FaultSchedule(
+                replica_faults=(ReplicaFault("crash", 0, math.inf),)
+            )
+
+    def test_negative_time_rejected_at_fault_level(self):
+        with pytest.raises(ConfigError, match="time"):
+            ReplicaFault("crash", 0, -1.0)
+
+    def test_nan_time_rejected_at_fault_level(self):
+        with pytest.raises(ConfigError, match="time"):
+            ReplicaFault("crash", 0, math.nan)
+
+    def test_duplicate_time_and_target_rejected_naming_entries(self):
+        with pytest.raises(
+            ConfigError, match=r"duplicate.*replica 1.*entries 0 and 1"
+        ):
+            FaultSchedule(
+                replica_faults=(
+                    ReplicaFault("crash", 1, 2.0),
+                    ReplicaFault("slow", 1, 2.0, factor=2.0, duration_s=1.0),
+                )
+            )
+
+    def test_same_time_different_replicas_allowed(self):
+        schedule = FaultSchedule(
+            replica_faults=(
+                ReplicaFault("crash", 0, 2.0),
+                ReplicaFault("crash", 1, 2.0),
+            )
+        )
+        assert len(schedule.crashes) == 2
+
+    def test_duplicate_link_fault_rejected(self):
+        with pytest.raises(ConfigError, match=r"link_faults: duplicate"):
+            FaultSchedule(
+                link_faults=(
+                    LinkFault(time_s=1.0, factor=2.0, duration_s=0.5),
+                    LinkFault(time_s=1.0, factor=4.0, duration_s=0.25),
+                )
+            )
+
+    def test_duplicate_sdc_fault_rejected(self):
+        with pytest.raises(ConfigError, match=r"sdc_faults: duplicate"):
+            FaultSchedule(
+                sdc_faults=(
+                    SDCFault(replica=1, time_s=0.5, duration_s=0.5),
+                    SDCFault(replica=1, time_s=0.5, duration_s=1.0),
+                )
+            )
+
+    def test_duplicate_mask_fault_rejected(self):
+        from repro.resilience.faults import MaskFault
+
+        with pytest.raises(ConfigError, match=r"mask_faults: duplicate"):
+            FaultSchedule(
+                mask_faults=(
+                    MaskFault(1.0, 0, PEMask(masked_cols=2)),
+                    MaskFault(1.0, 0, PEMask(masked_rows=3)),
+                )
+            )
+
+
+class TestMaskFault:
+    def test_valid_mask_fault(self):
+        from repro.resilience.faults import MaskFault
+
+        fault = MaskFault(2.5, 1, PEMask(masked_cols=4))
+        assert fault.to_dict() == {
+            "time_ms": 2500.0,
+            "replica": 1,
+            "mask": {"masked_cols": 4, "masked_rows": 0},
+        }
+
+    def test_noop_mask_rejected(self):
+        from repro.resilience.faults import MaskFault
+
+        with pytest.raises(ConfigError, match="non-noop"):
+            MaskFault(1.0, 0, PEMask())
+
+    def test_infinite_time_rejected(self):
+        from repro.resilience.faults import MaskFault
+
+        with pytest.raises(ConfigError, match="finite"):
+            MaskFault(math.inf, 0, PEMask(masked_cols=1))
+
+    def test_validated_against_replica_count(self):
+        from repro.resilience.faults import MaskFault
+
+        schedule = FaultSchedule(
+            mask_faults=(MaskFault(1.0, 5, PEMask(masked_cols=1)),)
+        )
+        with pytest.raises(ConfigError, match="replica 5"):
+            schedule.validate_for(3)

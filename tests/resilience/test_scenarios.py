@@ -166,7 +166,12 @@ class TestSDCScenarios:
         assert integrity["drained_replicas"] == [1]
 
     def test_storm_invariants_hold(self, storm):
-        assert storm["invariants"] == {"zero-escaped": True, "sdc-drained": True}
+        assert storm["invariants"] == {
+            "zero-silent-drops": True,
+            "zero-escaped": True,
+            "sdc-drained": True,
+        }
+        assert storm["invariants_declared"] == list(INVARIANT_NAMES)
 
     def test_storm_quotes_verified_latency_tax(self, storm):
         ratio = storm["integrity"]["verified_latency_ratio"]
@@ -178,7 +183,9 @@ class TestSDCScenarios:
         integrity = rollup["integrity"]
         assert integrity["detected"] == 0
         assert integrity["escaped_batches"] == integrity["corrupted_batches"] > 0
-        assert rollup["invariants"] == {}
+        # every catalogue scenario declares the universal accounting invariant
+        assert rollup["invariants"] == {"zero-silent-drops": True}
+        assert rollup["invariants_declared"] == ["zero-silent-drops"]
 
     def test_storm_meta_names_verification_and_invariants(self, storm):
         meta = storm["scenario"]
